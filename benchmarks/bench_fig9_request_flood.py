@@ -1,0 +1,65 @@
+"""Figure 9 — request packet floods.
+
+Paper result: with TVA, request floods are rate-limited to the request
+channel and fair-queued per path identifier, so neither the completion
+fraction nor the transfer time moves.  SIFF behaves as under legacy floods
+(requests are legacy priority); pushback and the Internet treat request
+packets as ordinary data, so their curves match Figure 8.
+"""
+
+from conftest import DURATION, SWEEP, horizon, print_flood_table
+
+from repro.core import FilteringPolicy, ServerPolicy
+from repro.eval import ExperimentConfig, run_flood_scenario
+
+
+def _sweep(scheme):
+    config = ExperimentConfig(duration=DURATION)
+    rows = []
+    for k in SWEEP:
+        suspects = set(range(config.n_users + 1, config.n_users + k + 1))
+
+        def policy(suspects=suspects):
+            return FilteringPolicy(
+                ServerPolicy(default_grant=config.server_grant), suspects
+            )
+
+        log = run_flood_scenario(scheme, "request", k, config,
+                                 destination_policy=policy)
+        rows.append((scheme, k, log.fraction_completed(horizon()),
+                     log.average_completion_time()))
+    return rows
+
+
+def _bench(bench_once, benchmark, scheme):
+    rows = bench_once(_sweep, scheme)
+    print_flood_table(f"Figure 9 (request flood) — {scheme}", rows)
+    benchmark.extra_info["rows"] = [
+        (k, round(frac, 3), None if avg is None else round(avg, 3))
+        for _, k, frac, avg in rows
+    ]
+    return rows
+
+
+def test_fig9_tva(bench_once, benchmark):
+    rows = _bench(bench_once, benchmark, "tva")
+    assert all(frac == 1.0 for _, _, frac, _ in rows)
+    assert all(avg < 0.45 for _, _, _, avg in rows)
+
+
+def test_fig9_siff(bench_once, benchmark):
+    rows = _bench(bench_once, benchmark, "siff")
+    by_k = {k: frac for _, k, frac, _ in rows}
+    assert by_k[100] < 0.8
+
+
+def test_fig9_internet(bench_once, benchmark):
+    rows = _bench(bench_once, benchmark, "internet")
+    by_k = {k: frac for _, k, frac, _ in rows}
+    assert by_k[100] < 0.1
+
+
+def test_fig9_pushback(bench_once, benchmark):
+    rows = _bench(bench_once, benchmark, "pushback")
+    by_k = {k: frac for _, k, frac, _ in rows}
+    assert by_k[100] < 0.3

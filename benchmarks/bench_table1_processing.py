@@ -1,0 +1,80 @@
+"""Table 1 — processing overhead of different packet types.
+
+Paper result (Linux kernel module, 3.2 GHz Xeon):
+
+    Request                            460 ns
+    Regular with a cached entry         33 ns
+    Regular without a cached entry    1486 ns
+    Renewal with a cached entry        439 ns
+    Renewal without a cached entry    1821 ns
+
+Absolute numbers here are Python-speed, but the *structure* is the
+design's: the cached regular packet does no cryptography and is cheapest
+by a wide margin; request ~ renewal-with-entry (one hash each); a
+cache-miss regular costs two hashes; a cache-miss renewal three.
+"""
+
+import pytest
+
+from conftest import FULL
+
+from repro.eval import RouterWorkbench, format_table1, measure_processing_costs
+
+BATCH = 256
+
+PAPER_NS = {
+    "request": 460,
+    "regular_cached": 33,
+    "regular_uncached": 1486,
+    "renewal_cached": 439,
+    "renewal_uncached": 1821,
+}
+
+
+@pytest.fixture(scope="module")
+def workbench():
+    return RouterWorkbench(pool_size=BATCH)
+
+
+@pytest.mark.parametrize("kind", [
+    "legacy",
+    "regular_cached",
+    "request",
+    "renewal_cached",
+    "regular_uncached",
+    "renewal_uncached",
+])
+def test_table1_packet_cost(benchmark, workbench, kind):
+    benchmark.group = "table1-processing"
+    benchmark(workbench.run_batch, kind, BATCH)
+    benchmark.extra_info["per_packet"] = f"batch of {BATCH} packets"
+    if kind in PAPER_NS:
+        benchmark.extra_info["paper_ns"] = PAPER_NS[kind]
+
+
+def test_table1_summary(benchmark):
+    """Measure all kinds in one pass and print the Table 1 analogue."""
+    packets = 40_000 if FULL else 8_000
+    costs = benchmark.pedantic(
+        measure_processing_costs, kwargs={"packets_per_kind": packets},
+        rounds=1, iterations=1,
+    )
+    print()
+    print("Table 1 (measured, this Python implementation):")
+    print(format_table1(costs))
+    print("Paper (Linux kernel module, 3.2 GHz Xeon, ns/pkt):",
+          PAPER_NS)
+    # The design-determined orderings.
+    assert costs["regular_cached"].ns_per_packet < costs["request"].ns_per_packet
+    assert costs["request"].ns_per_packet < costs["regular_uncached"].ns_per_packet
+    assert costs["regular_uncached"].ns_per_packet <= costs["renewal_uncached"].ns_per_packet * 1.05
+
+
+@pytest.mark.parametrize("kind", ["request", "regular_cached", "regular_uncached"])
+def test_table1_wire_level_cost(benchmark, kind):
+    """The same pipeline through byte-exact Figure 5 encode/decode — what
+    a real forwarding engine pays per packet."""
+    benchmark.group = "table1-wire"
+    bench = RouterWorkbench(pool_size=BATCH)
+    benchmark(bench.run_wire_batch, kind, BATCH)
+    benchmark.extra_info["per_packet"] = f"batch of {BATCH} packets"

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: watch one TVA capability exchange happen.
+
+Builds the smallest interesting network — a client and a server behind two
+capability routers — runs one 20 KB TCP transfer through the full TVA
+stack, and narrates what the capability layer did: the request stamped
+with pre-capabilities, the server's fine-grained grant, nonce-only fast
+path packets, and the routers' cached-entry counters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ServerPolicy, TvaScheme
+from repro.sim import Simulator, TransferLog, build_chain
+from repro.transport import RepeatingTransferClient, TcpListener
+
+
+def main() -> None:
+    sim = Simulator()
+    scheme = TvaScheme(
+        request_fraction=0.05,  # the paper's default request channel
+        destination_policy=lambda: ServerPolicy(default_grant=(64 * 1024, 10)),
+    )
+    net = build_chain(sim, scheme, n_routers=2, link_bps=10e6)
+    client, server = net.users[0], net.destination
+
+    print("Topology:  client -- R1 -- R2 -- server   (10 Mb/s links)")
+    print(f"Client address {client.address}, server address {server.address}")
+    print()
+
+    TcpListener(sim, server, 80)
+    log = TransferLog()
+    RepeatingTransferClient(
+        sim, client, server.address, 80, nbytes=20_000, log=log, max_transfers=3
+    )
+    sim.run(until=5.0)
+
+    print(f"Transfers completed : {log.completed}/3")
+    print(f"Average time        : {log.average_completion_time():.3f} s "
+          "(the paper's 60 ms-RTT figure is ~0.31 s)")
+    print()
+
+    shim = client.shim
+    print("Client capability layer:")
+    print(f"  requests sent     : {shim.requests_sent} "
+          "(one request covers all three connections, Section 3.10)")
+    print(f"  grants received   : {shim.grants_received}")
+    state = shim._sender[server.address]
+    print(f"  current budget    : {state.bytes_charged}/{state.n_bytes} bytes, "
+          f"T={state.t_seconds}s, nonce={state.nonce:012x}")
+    print()
+
+    print("Router pipelines (Figure 6):")
+    for name, core in sorted(scheme.router_cores.items()):
+        print(f"  {name}: requests={core.requests_processed} "
+              f"validated={core.regular_validated} "
+              f"cached-hits={core.regular_cached} "
+              f"renewals={core.renewals} demotions={core.demotions} "
+              f"flow-records={len(core.state)}")
+    print()
+    print("Note the cached-hits dominating: after the first authorized")
+    print("packet, routers verify by flow nonce alone (Section 3.7).")
+
+
+if __name__ == "__main__":
+    main()

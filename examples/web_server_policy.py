@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A public web server defending itself with a realistic policy.
+
+Unlike the oracle policy the Figure 11 experiment stipulates, this example
+uses the detectable misbehaviour signals of Section 3.3: the server grants
+every first request a modest budget, watches per-sender receive rates, and
+blacklists senders that flood.  One attacker obtains a capability like
+everyone else, starts flooding at 1 Mb/s, gets blacklisted within the
+detector window, and is silenced as soon as its 32 KB budget runs dry —
+while ordinary clients keep fetching pages throughout.
+
+Run:  python examples/web_server_policy.py
+"""
+
+import random
+
+from repro.core import ServerPolicy, TvaScheme
+from repro.sim import Simulator, TransferLog, build_dumbbell
+from repro.transport import CbrFlood, PacketSink, RepeatingTransferClient, TcpListener
+
+DURATION = 20.0
+ATTACK_START = 5.0
+
+
+def main() -> None:
+    policy_holder = {}
+
+    def make_policy():
+        # Grant 32 KB / 10 s; blacklist anyone whose delivered rate exceeds
+        # 600 kb/s sustained over 2 s (legit clients burst below that).
+        policy = ServerPolicy(
+            default_grant=(32 * 1024, 10),
+            flood_rate_bps=600e3,
+            detector_window=2.0,
+        )
+        policy_holder["policy"] = policy
+        return policy
+
+    sim = Simulator()
+    scheme = TvaScheme(request_fraction=0.01, destination_policy=make_policy)
+    net = build_dumbbell(sim, scheme, n_users=5, n_attackers=1)
+    server = net.destination
+    attacker = net.attackers[0]
+
+    TcpListener(sim, server, 80)
+    PacketSink(server, "cbr")  # the flood targets an open datagram port
+    log = TransferLog()
+    rng = random.Random(11)
+    for user in net.users:
+        RepeatingTransferClient(sim, user, server.address, 80, nbytes=20_000,
+                                log=log, start_at=rng.uniform(0, 0.3),
+                                stop_at=DURATION)
+    CbrFlood(sim, attacker, server.address, rate_bps=1e6, pkt_size=1000,
+             mode="shim", start_at=ATTACK_START, jitter=0.2)
+
+    sim.run(until=DURATION)
+
+    policy = policy_holder["policy"]
+    print(f"Attack starts at t={ATTACK_START:.0f}s; attacker floods 1 Mb/s "
+          "through the capability layer")
+    print()
+    print(f"Server grants issued   : {policy.grants}")
+    print(f"Server refusals        : {policy.refusals}")
+    blacklisted = policy.is_blacklisted(attacker.address, sim.now)
+    print(f"Attacker blacklisted   : {blacklisted}")
+    print(f"Attacker grants gotten : {attacker.shim.grants_received} "
+          "(renewals granted until the rate detector fired)")
+    print()
+
+    before = [d for s, d in log.time_series() if s < ATTACK_START]
+    during = [d for s, d in log.time_series() if ATTACK_START <= s < ATTACK_START + 3]
+    after = [d for s, d in log.time_series() if s >= ATTACK_START + 3]
+    fmt = lambda xs: f"{sum(xs)/len(xs):.2f} s over {len(xs)} transfers" if xs else "-"
+    print(f"Client transfer times before attack : {fmt(before)}")
+    print(f"  ... during the attack burst       : {fmt(during)}")
+    print(f"  ... after the budget ran out      : {fmt(after)}")
+    print()
+    print("The fine-grained capability (Section 3.5) bounds the damage to")
+    print("2N bytes no matter how fast the attacker floods; blacklisting")
+    print("ensures it never gets another one.")
+
+
+if __name__ == "__main__":
+    main()

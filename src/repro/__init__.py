@@ -1,0 +1,23 @@
+"""repro — a full Python reproduction of "A DoS-limiting Network
+Architecture" (TVA), Yang, Wetherall & Anderson, SIGCOMM 2005.
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event packet-level network simulator (the ns-2 substitute).
+``repro.core``
+    TVA itself: capabilities, bounded router state, the capability router,
+    host proxy, destination policies, and queue management.
+``repro.transport``
+    The paper-modified TCP and the legitimate/attack traffic agents.
+``repro.baselines``
+    The three comparison schemes: SIFF, pushback, and the legacy Internet.
+``repro.analysis``
+    Closed-form models from Sections 3.6 and 5.1.
+``repro.eval``
+    Experiment harnesses regenerating every figure and table.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

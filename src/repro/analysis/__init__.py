@@ -1,0 +1,29 @@
+"""Closed-form models from the paper's Sections 3.2, 3.6 and 5.1."""
+
+from .models import (
+    capability_byte_bound,
+    effective_throughput_bps,
+    fair_queue_dilution,
+    flood_loss_rate,
+    internet_completion_probability,
+    request_overhead_fraction,
+    siff_average_transfer_time,
+    siff_completion_probability,
+    state_bound_records,
+    state_memory_bytes,
+    transfer_ideal_time,
+)
+
+__all__ = [
+    "capability_byte_bound",
+    "effective_throughput_bps",
+    "fair_queue_dilution",
+    "flood_loss_rate",
+    "internet_completion_probability",
+    "request_overhead_fraction",
+    "siff_average_transfer_time",
+    "siff_completion_probability",
+    "state_bound_records",
+    "state_memory_bytes",
+    "transfer_ideal_time",
+]

@@ -1,0 +1,152 @@
+"""Closed-form models from the paper (Sections 3.2, 3.6 and 5.1).
+
+The paper validates its simulation results against small analytical
+models; we implement them so tests can cross-check both the arithmetic in
+the paper's text and our simulator's behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.params import TvaParams
+
+
+# ---------------------------------------------------------------------------
+# Section 5.1 — loss under flooding and its effect on transfers
+# ---------------------------------------------------------------------------
+
+def flood_loss_rate(attack_bps: float, bottleneck_bps: float) -> float:
+    """Packet loss rate when an aggregate attack of ``attack_bps`` crosses
+    a ``bottleneck_bps`` link: p = (Ba - Bl) / Ba, clamped to [0, 1)."""
+    if attack_bps <= bottleneck_bps:
+        return 0.0
+    return (attack_bps - bottleneck_bps) / attack_bps
+
+
+def siff_completion_probability(p: float, tries: int = 9) -> float:
+    """Probability a SIFF transfer completes: its request must get through
+    within ``tries`` SYN attempts (1 original + 8 retransmissions), after
+    which the authorized packets sail through: 1 - p^tries.
+
+    The paper's example: p = 0.9, 9 tries -> 0.61."""
+    _check_p(p)
+    return 1.0 - p ** tries
+
+
+def siff_average_transfer_time(
+    p: float, tries: int = 9, syn_timeout: float = 1.0, base_time: float = 0.0
+) -> float:
+    """Average time of the transfers that complete under SIFF:
+
+        Tavg = sum_i i * p^(i-1) * (1-p) / (1 - p^tries)
+
+    seconds with a one-second SYN timeout (the paper's formula; it counts
+    each attempt as one second).  ``base_time`` adds the attack-free
+    transfer time to the estimate.  The paper's example: p = 0.9 -> 4.05 s.
+    """
+    _check_p(p)
+    if p == 0.0:
+        return base_time + syn_timeout * 0.0 if base_time else 0.0
+    numerator = sum(i * p ** (i - 1) * (1 - p) for i in range(1, tries + 1))
+    return numerator / (1.0 - p ** tries) * syn_timeout + base_time
+
+
+def internet_completion_probability(
+    p: float, n_packets: int = 20, k_retries: int = 10
+) -> float:
+    """Probability a legacy-Internet transfer of ``n_packets`` completes
+    when every packet faces loss rate ``p`` and may be retransmitted up to
+    ``k_retries`` times: (1 - p^k)^n (Section 5.1)."""
+    _check_p(p)
+    return (1.0 - p ** k_retries) ** n_packets
+
+
+def _check_p(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"loss rate must be in [0, 1], got {p}")
+
+
+# ---------------------------------------------------------------------------
+# Section 3.6 — bounded router state
+# ---------------------------------------------------------------------------
+
+def state_bound_records(
+    capacity_bps: float, params: Optional[TvaParams] = None
+) -> int:
+    """Maximum live flow records for an input link: C / (N/T)min.
+
+    The paper's example: a gigabit link with (N/T)min = 4 KB / 10 s needs
+    312,500 records."""
+    params = params or TvaParams()
+    return params.state_bound_records(capacity_bps)
+
+
+def state_memory_bytes(
+    capacity_bps: float,
+    record_bytes: int = 100,
+    params: Optional[TvaParams] = None,
+) -> int:
+    """Line-card memory needed for the state bound ("a line card with 32MB
+    of memory will never run out of state")."""
+    return state_bound_records(capacity_bps, params) * record_bytes
+
+
+def capability_byte_bound(n_bytes: int) -> int:
+    """Worst-case bytes sendable with one capability under memory pressure:
+    2N (Section 3.6's theorem)."""
+    if n_bytes < 0:
+        raise ValueError("N must be non-negative")
+    return 2 * n_bytes
+
+
+# ---------------------------------------------------------------------------
+# Section 3.2 — request channel overhead
+# ---------------------------------------------------------------------------
+
+def request_overhead_fraction(request_bytes: int = 250, flow_bytes: int = 10_000) -> float:
+    """Fraction of bandwidth spent on requests: "Even with 250 bytes of
+    request for a 10KB flow, request traffic is 2.5% of the bandwidth"."""
+    if flow_bytes <= 0:
+        raise ValueError("flow size must be positive")
+    return request_bytes / flow_bytes
+
+
+def fair_queue_dilution(k_attackers: int, pairwise: bool = False) -> float:
+    """Share of a bottleneck left to one legitimate flow under per-flow
+    fair queuing with ``k`` attackers: 1/k, or 1/k^2 when attackers can
+    multiply flows across source-destination pairs (Section 2)."""
+    if k_attackers < 1:
+        raise ValueError("need at least one attacker")
+    share = 1.0 / k_attackers
+    return share * share if pairwise else share
+
+
+def transfer_ideal_time(
+    nbytes: int = 20_000,
+    rtt: float = 0.06,
+    mss: int = 1000,
+    initial_cwnd: int = 2,
+) -> float:
+    """Attack-free transfer time for a slow-started TCP transfer: the
+    handshake RTT plus one RTT per doubling round.  With the paper's
+    numbers (20 KB, 60 ms RTT) this is ~0.3 s, the "no more than 533Kb/s"
+    effective-throughput remark of Section 5."""
+    segments = math.ceil(nbytes / mss)
+    rounds = 0
+    cwnd = initial_cwnd
+    sent = 0
+    while sent < segments:
+        sent += cwnd
+        cwnd *= 2
+        rounds += 1
+    return rtt * (1 + rounds)
+
+
+def effective_throughput_bps(nbytes: int = 20_000, transfer_time: float = 0.3) -> float:
+    """Effective throughput implied by a transfer time (533 Kb/s in the
+    paper's example)."""
+    if transfer_time <= 0:
+        raise ValueError("transfer time must be positive")
+    return nbytes * 8 / transfer_time

@@ -1,0 +1,26 @@
+"""The paper's comparison schemes: SIFF, pushback, and the legacy Internet."""
+
+from .legacy import LegacyScheme
+from .pushback import PushbackProcessor, PushbackScheme
+from .siff import (
+    SIFF_SECRET_PERIOD,
+    SiffData,
+    SiffExplorer,
+    SiffHostShim,
+    SiffReturn,
+    SiffRouterProcessor,
+    SiffScheme,
+)
+
+__all__ = [
+    "LegacyScheme",
+    "PushbackProcessor",
+    "PushbackScheme",
+    "SIFF_SECRET_PERIOD",
+    "SiffData",
+    "SiffExplorer",
+    "SiffHostShim",
+    "SiffReturn",
+    "SiffRouterProcessor",
+    "SiffScheme",
+]

@@ -1,0 +1,18 @@
+"""The legacy Internet baseline: FIFO DropTail everywhere, no host or
+router changes.  "With the Internet, legitimate traffic and attack traffic
+are treated alike" (Section 5.1).
+
+:class:`LegacyScheme` is just the default :class:`SchemeFactory` under its
+experiment name; it exists so the four schemes of Figures 8-10 are all
+spelled the same way.
+"""
+
+from __future__ import annotations
+
+from ..sim.topology import SchemeFactory
+
+
+class LegacyScheme(SchemeFactory):
+    """Plain IP forwarding with ns-2-style 50-packet DropTail queues."""
+
+    name = "internet"

@@ -1,0 +1,297 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Examples::
+
+    python -m repro fig8                      # all four schemes, default sweep
+    python -m repro fig9 --schemes tva,siff --sweep 10,100 --duration 20
+    python -m repro fig10
+    python -m repro fig11 --scheme siff --pattern staggered
+    python -m repro table1
+    python -m repro fig12
+    python -m repro scenario --scheme tva --attack legacy --attackers 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core import FilteringPolicy, ServerPolicy
+from .eval import (
+    DEFAULT_SWEEP,
+    SCHEMES,
+    ExperimentConfig,
+    forwarding_rate_curve,
+    format_table1,
+    measure_processing_costs,
+    run_fig11_imprecise,
+    run_flood_scenario,
+)
+from .eval.procbench import PACKET_KINDS
+
+
+def _parse_schemes(value: str) -> List[str]:
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    for name in names:
+        if name not in SCHEMES:
+            raise argparse.ArgumentTypeError(
+                f"unknown scheme {name!r}; choose from {', '.join(SCHEMES)}"
+            )
+    return names
+
+
+def _parse_sweep(value: str) -> List[int]:
+    try:
+        return [int(v) for v in value.split(",") if v.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _flood_table(rows) -> str:
+    lines = [f"{'scheme':9s} {'k':>4s} {'frac':>6s} {'avg(s)':>8s}"]
+    for scheme, k, frac, avg in rows:
+        avg_s = "    -  " if avg is None else f"{avg:7.2f}"
+        lines.append(f"{scheme:9s} {k:4d} {frac:6.2f} {avg_s}")
+    return "\n".join(lines)
+
+
+def _run_flood_figure(args, attack: str, title: str) -> int:
+    config = ExperimentConfig(duration=args.duration, seed=args.seed)
+    horizon = max(0.0, args.duration - 2.0)
+    rows = []
+    for scheme in args.schemes:
+        for k in args.sweep:
+            kwargs = {}
+            if attack == "request":
+                suspects = set(range(config.n_users + 1, config.n_users + k + 1))
+                kwargs["destination_policy"] = (
+                    lambda s=suspects: FilteringPolicy(
+                        ServerPolicy(default_grant=config.server_grant), s
+                    )
+                )
+            log = run_flood_scenario(scheme, attack, k, config, **kwargs)
+            rows.append((scheme, k, log.fraction_completed(horizon),
+                         log.average_completion_time()))
+            print(f"\r{scheme} k={k} done", end="", file=sys.stderr)
+    print("", file=sys.stderr)
+    print(title)
+    print(_flood_table(rows))
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    return _run_flood_figure(args, "legacy", "Figure 8 — legacy packet floods")
+
+
+def _cmd_fig9(args) -> int:
+    return _run_flood_figure(args, "request", "Figure 9 — request packet floods")
+
+
+def _cmd_fig10(args) -> int:
+    return _run_flood_figure(args, "colluder",
+                             "Figure 10 — authorized floods at a colluder")
+
+
+def _sparkline(series, t_max: float, buckets: int = 60) -> str:
+    """A terminal rendering of the Figure 11 time series: worst transfer
+    time per time bucket."""
+    glyphs = " .:-=+*#%@"
+    worst = [0.0] * buckets
+    for start, duration in series:
+        idx = min(buckets - 1, int(start / t_max * buckets))
+        worst[idx] = max(worst[idx], duration)
+    top = max(max(worst), 1.0)
+    return "".join(
+        glyphs[min(len(glyphs) - 1, int(w / top * (len(glyphs) - 1)))]
+        for w in worst
+    )
+
+
+def _cmd_fig11(args) -> int:
+    result = run_fig11_imprecise(args.scheme, args.pattern,
+                                 duration=args.duration)
+    print(f"Figure 11 — {args.scheme}, {args.pattern} "
+          f"(attack starts at t=10 s)")
+    print(f"  completed transfers : {len(result.series)}")
+    print(f"  max transfer time   : {result.max_transfer_time():.2f} s")
+    print(f"  disruption ends at  : {result.disruption_end():.1f} s")
+    gaps = [(round(a, 1), round(b, 1)) for a, b in result.completion_gaps()]
+    print(f"  completion gaps     : {gaps}")
+    print(f"  transfer-time sketch (0..{args.duration:.0f} s, darker = slower):")
+    print(f"  [{_sparkline(result.series, args.duration)}]")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    costs = measure_processing_costs(packets_per_kind=args.packets)
+    print("Table 1 — processing overhead of different packet types")
+    print(format_table1(costs))
+    print()
+    print("Paper (Linux kernel module): request 460 ns, regular-cached 33 ns,")
+    print("regular-uncached 1486 ns, renewal-cached 439 ns, renewal-uncached 1821 ns.")
+    return 0
+
+
+def _cmd_fig12(args) -> int:
+    print("Figure 12 — output rate vs input rate (kpps)")
+    rates = (50, 100, 150, 200, 250, 300, 350, 400)
+    curves = {
+        kind: dict(forwarding_rate_curve(kind, rates, args.packets))
+        for kind in PACKET_KINDS
+    }
+    print("input " + " ".join(f"{k[:13]:>14s}" for k in PACKET_KINDS))
+    for rate in rates:
+        print(f"{rate:5d} " + " ".join(
+            f"{curves[k][rate]:14.1f}" for k in PACKET_KINDS))
+    return 0
+
+
+def _cmd_scenario(args) -> int:
+    config = ExperimentConfig(duration=args.duration, seed=args.seed)
+    log = run_flood_scenario(args.scheme, args.attack, args.attackers, config)
+    horizon = max(0.0, args.duration - 2.0)
+    avg = log.average_completion_time()
+    print(f"scheme={args.scheme} attack={args.attack} k={args.attackers} "
+          f"duration={args.duration:.0f}s")
+    print(f"  completion fraction : {log.fraction_completed(horizon):.2f}")
+    print(f"  avg transfer time   : "
+          f"{'-' if avg is None else f'{avg:.2f} s'}")
+    print(f"  transfers completed : {log.completed}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Run every experiment at the chosen scale and write one markdown
+    report — the whole evaluation in a single command."""
+    config = ExperimentConfig(duration=args.duration, seed=args.seed)
+    horizon = max(0.0, args.duration - 2.0)
+    lines = ["# TVA reproduction report", ""]
+
+    for attack, title in (("legacy", "Figure 8 — legacy packet floods"),
+                          ("request", "Figure 9 — request packet floods"),
+                          ("colluder", "Figure 10 — authorized floods")):
+        lines += [f"## {title}", "",
+                  "| scheme | k | completion | avg time (s) |",
+                  "|---|---|---|---|"]
+        for scheme in args.schemes:
+            for k in args.sweep:
+                kwargs = {}
+                if attack == "request":
+                    suspects = set(range(config.n_users + 1,
+                                         config.n_users + k + 1))
+                    kwargs["destination_policy"] = (
+                        lambda s=suspects: FilteringPolicy(
+                            ServerPolicy(default_grant=config.server_grant), s))
+                log = run_flood_scenario(scheme, attack, k, config, **kwargs)
+                avg = log.average_completion_time()
+                lines.append(
+                    f"| {scheme} | {k} | {log.fraction_completed(horizon):.2f} "
+                    f"| {'-' if avg is None else f'{avg:.2f}'} |")
+                print(f"\r{title}: {scheme} k={k} done   ",
+                      end="", file=sys.stderr)
+        lines.append("")
+    print("", file=sys.stderr)
+
+    lines += ["## Figure 11 — imprecise policies", "",
+              "| scheme | pattern | max transfer (s) | completion gaps |",
+              "|---|---|---|---|"]
+    for scheme in ("tva", "siff"):
+        for pattern in ("all_at_once", "staggered"):
+            result = run_fig11_imprecise(scheme, pattern,
+                                         duration=args.fig11_duration)
+            gaps = ", ".join(f"{a:.1f}-{b:.1f}"
+                             for a, b in result.completion_gaps())
+            lines.append(f"| {scheme} | {pattern} | "
+                         f"{result.max_transfer_time():.2f} | {gaps or '-'} |")
+            print(f"\rFigure 11: {scheme}/{pattern} done   ",
+                  end="", file=sys.stderr)
+    print("", file=sys.stderr)
+    lines.append("")
+
+    costs = measure_processing_costs(packets_per_kind=args.packets)
+    lines += ["## Table 1 — processing cost", "", "```",
+              format_table1(costs), "```", ""]
+
+    text = "\n".join(lines)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the TVA paper's experiments (SIGCOMM 2005).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_flood(name, fn, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--schemes", type=_parse_schemes,
+                       default=list(SCHEMES),
+                       help=f"comma-separated subset of {','.join(SCHEMES)}")
+        p.add_argument("--sweep", type=_parse_sweep,
+                       default=list(DEFAULT_SWEEP),
+                       help="comma-separated attacker counts")
+        p.add_argument("--duration", type=float, default=15.0,
+                       help="simulated seconds per point")
+        p.add_argument("--seed", type=int, default=1)
+        p.set_defaults(fn=fn)
+
+    add_flood("fig8", _cmd_fig8, "legacy packet floods")
+    add_flood("fig9", _cmd_fig9, "request packet floods")
+    add_flood("fig10", _cmd_fig10, "authorized floods at a colluder")
+
+    p11 = sub.add_parser("fig11", help="imprecise authorization policies")
+    p11.add_argument("--scheme", choices=("tva", "siff"), default="tva")
+    p11.add_argument("--pattern", choices=("all_at_once", "staggered"),
+                     default="all_at_once")
+    p11.add_argument("--duration", type=float, default=50.0)
+    p11.set_defaults(fn=_cmd_fig11)
+
+    pt1 = sub.add_parser("table1", help="per-packet processing cost")
+    pt1.add_argument("--packets", type=int, default=10_000,
+                     help="packets measured per type")
+    pt1.set_defaults(fn=_cmd_table1)
+
+    p12 = sub.add_parser("fig12", help="forwarding rate vs offered load")
+    p12.add_argument("--packets", type=int, default=10_000)
+    p12.set_defaults(fn=_cmd_fig12)
+
+    pr = sub.add_parser("report", help="run everything, write one markdown report")
+    pr.add_argument("--schemes", type=_parse_schemes, default=list(SCHEMES))
+    pr.add_argument("--sweep", type=_parse_sweep, default=[1, 10, 100])
+    pr.add_argument("--duration", type=float, default=12.0)
+    pr.add_argument("--fig11-duration", type=float, default=45.0,
+                    help="window for the Figure 11 time series")
+    pr.add_argument("--packets", type=int, default=8000)
+    pr.add_argument("--seed", type=int, default=1)
+    pr.add_argument("--output", default="RESULTS.md",
+                    help="output file, or - for stdout")
+    pr.set_defaults(fn=_cmd_report)
+
+    ps = sub.add_parser("scenario", help="one custom flood scenario")
+    ps.add_argument("--scheme", choices=SCHEMES, default="tva")
+    ps.add_argument("--attack",
+                    choices=("legacy", "request", "colluder", "authorized"),
+                    default="legacy")
+    ps.add_argument("--attackers", type=int, default=10)
+    ps.add_argument("--duration", type=float, default=15.0)
+    ps.add_argument("--seed", type=int, default=1)
+    ps.set_defaults(fn=_cmd_scenario)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Bit-level serialization helpers.
+
+Figure 5's headers pack fields at sub-byte granularity (a 10-bit N next to
+a 6-bit T, 4-bit version/type nibbles).  :class:`BitWriter` and
+:class:`BitReader` provide big-endian, MSB-first bit packing so the header
+encodings in :mod:`repro.core.header` are byte-exact and round-trippable.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates values MSB-first into a byte string."""
+
+    def __init__(self) -> None:
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value: int, nbits: int) -> "BitWriter":
+        if nbits <= 0:
+            raise ValueError("nbits must be positive")
+        if value < 0 or value >= (1 << nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        return self
+
+    def getvalue(self) -> bytes:
+        if self._nbits % 8:
+            raise ValueError(
+                f"bitstream is {self._nbits} bits, not a whole number of bytes; "
+                "pad explicitly"
+            )
+        return self._acc.to_bytes(self._nbits // 8, "big")
+
+    @property
+    def bit_length(self) -> int:
+        return self._nbits
+
+
+class BitReader:
+    """Consumes values MSB-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit cursor
+
+    def read(self, nbits: int) -> int:
+        if nbits <= 0:
+            raise ValueError("nbits must be positive")
+        end = self._pos + nbits
+        if end > len(self._data) * 8:
+            raise ValueError("read past end of bitstream")
+        value = 0
+        pos = self._pos
+        while pos < end:
+            byte = self._data[pos // 8]
+            bit = (byte >> (7 - pos % 8)) & 1
+            value = (value << 1) | bit
+            pos += 1
+        self._pos = end
+        return value
+
+    @property
+    def remaining_bits(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def expect_exhausted(self) -> None:
+        if self.remaining_bits:
+            raise ValueError(f"{self.remaining_bits} unread bits remain")

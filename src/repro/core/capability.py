@@ -1,0 +1,123 @@
+"""Pre-capabilities and fine-grained capabilities (Figure 3, Sections 3.4-3.5).
+
+A *pre-capability* is minted by each router on the path of a request:
+
+    timestamp (8 bits) || hash(src IP, dest IP, timestamp, router secret) (56 bits)
+
+The destination converts each pre-capability into a *capability* by hashing
+it together with the grant parameters N (bytes, in KB units on the wire)
+and T (seconds):
+
+    timestamp (8 bits) || hash(pre-capability, N, T) (56 bits)
+
+Routers validate by recomputing both hashes (they know all inputs), and
+additionally check expiry (local modulo-256 clock within T of the
+timestamp) — the byte-count check lives in the flow state table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .crypto import SecretManager, keyed_hash56
+from .params import (
+    HASH_BITS,
+    N_MAX_BYTES,
+    N_UNIT_BYTES,
+    T_MAX_SECONDS,
+    TIMESTAMP_MODULO,
+)
+
+_MASK56 = (1 << HASH_BITS) - 1
+
+
+@dataclass(frozen=True)
+class PreCapability:
+    """One router's stamp on a request packet."""
+
+    timestamp: int  # 8-bit router clock at mint time
+    hash56: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.timestamp < TIMESTAMP_MODULO:
+            raise ValueError(f"timestamp out of range: {self.timestamp}")
+        if not 0 <= self.hash56 <= _MASK56:
+            raise ValueError("hash must fit in 56 bits")
+
+    def as_int(self) -> int:
+        """The 64-bit wire value."""
+        return (self.timestamp << HASH_BITS) | self.hash56
+
+
+@dataclass(frozen=True)
+class Capability:
+    """One router's portion of a destination-issued authorization."""
+
+    timestamp: int
+    hash56: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.timestamp < TIMESTAMP_MODULO:
+            raise ValueError(f"timestamp out of range: {self.timestamp}")
+        if not 0 <= self.hash56 <= _MASK56:
+            raise ValueError("hash must fit in 56 bits")
+
+    def as_int(self) -> int:
+        return (self.timestamp << HASH_BITS) | self.hash56
+
+
+def quantize_grant(n_bytes: int, t_seconds: float) -> tuple:
+    """Clamp a grant to its wire encoding: N in whole KB (10 bits), T in
+    whole seconds (6 bits).  Returns the (n_bytes, t_seconds) actually
+    encodable, which is what both ends and all routers must agree on."""
+    n_kb = max(1, min(n_bytes // N_UNIT_BYTES, N_MAX_BYTES // N_UNIT_BYTES))
+    t = max(1, min(int(t_seconds), T_MAX_SECONDS))
+    return n_kb * N_UNIT_BYTES, t
+
+
+def mint_precapability(
+    secrets: SecretManager, src: int, dst: int, now: float
+) -> PreCapability:
+    """Router-side: stamp a request (Section 3.4)."""
+    ts = secrets.timestamp(now)
+    secret = secrets.current_secret(now)
+    return PreCapability(ts, keyed_hash56(secret, src, dst, ts))
+
+
+def capability_from_precapability(
+    precap: PreCapability, n_bytes: int, t_seconds: int
+) -> Capability:
+    """Destination-side: bind the grant (N, T) into the capability
+    (Section 3.5).  No secret is needed — the pre-capability already
+    carries the router's keyed hash."""
+    n_kb = n_bytes // N_UNIT_BYTES
+    inner = keyed_hash56(b"tva-capability", precap.as_int(), n_kb, t_seconds)
+    return Capability(precap.timestamp, inner)
+
+
+def validate_capability(
+    secrets: SecretManager,
+    src: int,
+    dst: int,
+    cap: Capability,
+    n_bytes: int,
+    t_seconds: int,
+    now: float,
+) -> bool:
+    """Router-side: recompute both hashes and check expiry (Section 3.5).
+
+    Expiry uses the modulo-256 clock: the capability is live while the
+    elapsed time since its timestamp is at most T.  T <= 63 (6-bit field)
+    satisfies the paper's requirement that T be at most half the rollover
+    so modulo comparison is unambiguous.
+    """
+    secret = secrets.secret_for_timestamp(cap.timestamp, now)
+    if secret is None:
+        return False
+    elapsed = (int(now) % TIMESTAMP_MODULO - cap.timestamp) % TIMESTAMP_MODULO
+    if elapsed > t_seconds:
+        return False
+    expected_pre = keyed_hash56(secret, src, dst, cap.timestamp)
+    precap = PreCapability(cap.timestamp, expected_pre)
+    expected = capability_from_precapability(precap, n_bytes, t_seconds)
+    return expected.hash56 == cap.hash56

@@ -1,0 +1,34 @@
+"""Path identifiers (Section 3.2).
+
+Routers at the ingress of a trust boundary (e.g. an AS edge) tag request
+packets with a 16-bit value derived from the incoming interface — a
+pseudo-random hash, so it is likely unique across the boundary.  The tag
+sequence approximates a source locator: request queues are keyed on the
+most recent tag, giving fair queuing over upstream parties without
+trusting source addresses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+from .params import PATH_ID_BITS
+
+_PID_MASK = (1 << PATH_ID_BITS) - 1
+
+
+def interface_tag(router_name: str, interface_id: str, salt: bytes = b"") -> int:
+    """Deterministic pseudo-random 16-bit tag for an ingress interface."""
+    digest = hashlib.blake2b(
+        f"{router_name}|{interface_id}".encode() + salt, digest_size=4
+    ).digest()
+    return int.from_bytes(digest, "big") & _PID_MASK
+
+
+def most_recent_tag(path_ids: List[int]) -> Optional[int]:
+    """The queueing key for a request: its last (nearest) tag, or ``None``
+    for untagged requests (which share one queue)."""
+    if not path_ids:
+        return None
+    return path_ids[-1]

@@ -1,0 +1,265 @@
+"""The TVA capability router (Figure 6, Section 4.3).
+
+:class:`TvaRouterCore` is simulator-independent: it implements the exact
+pipeline of the paper's pseudo-code against abstract (src, dst, size, shim,
+now) inputs.  The same object backs three consumers:
+
+* :class:`TvaRouterProcessor` adapts it to the discrete-event simulator;
+* the packet-processing benchmarks (Table 1, Figure 12) drive it directly;
+* unit and property tests exercise the pipeline without a network.
+
+Verdicts map to the three output classes of Figure 2: ``REQUEST`` packets
+go to the rate-limited per-path-identifier queues, ``REGULAR`` packets to
+the per-destination fair queues, and ``LEGACY`` covers legacy plus demoted
+traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from ..sim.link import Link
+from ..sim.node import Router, RouterProcessor
+from ..sim.packet import Packet
+from .capability import mint_precapability, validate_capability
+from .crypto import SecretManager
+from .flowstate import FlowEntry, FlowStateTable
+from .header import RegularHeader, RequestHeader
+from .params import TvaParams
+from .pathid import interface_tag
+
+# Verdicts.
+REQUEST = "request"
+REGULAR = "regular"
+LEGACY = "legacy"
+
+#: Wire growth per hop: 16-bit path id + 64-bit pre-capability on requests,
+#: one 64-bit pre-capability on renewals.
+REQUEST_BYTES_PER_HOP = 10
+RENEWAL_BYTES_PER_HOP = 8
+
+
+class TvaRouterCore:
+    """Capability verification and state management for one router."""
+
+    def __init__(
+        self,
+        name: str,
+        secrets: SecretManager,
+        state: FlowStateTable,
+        trust_boundary: bool = False,
+        params: Optional[TvaParams] = None,
+    ) -> None:
+        self.name = name
+        self.secrets = secrets
+        self.state = state
+        self.trust_boundary = trust_boundary
+        self.params = params or TvaParams()
+        # Counters mirrored in EXPERIMENTS.md sanity checks.
+        self.requests_processed = 0
+        self.regular_validated = 0
+        self.regular_cached = 0
+        self.renewals = 0
+        self.demotions = 0
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    def restart(self, now: float, new_seed: bytes = b"") -> None:
+        """Simulate a router restart (Section 3.8).
+
+        All cached flow state is lost and, if ``new_seed`` is given, so is
+        the router secret — outstanding capabilities through this router
+        die with it.  In-flight flows are demoted until their senders
+        re-acquire capabilities; the demotion-echo path recovers them.
+        """
+        self.restarts += 1
+        self.state = FlowStateTable(self.state.capacity, self.params)
+        if new_seed:
+            self.secrets = SecretManager(new_seed, period=self.secrets.period)
+
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        shim,
+        now: float,
+        ingress_id: Optional[str] = None,
+    ) -> Tuple[str, int]:
+        """Run one packet through the Figure 6 pipeline.
+
+        Returns ``(verdict, added_bytes)`` where ``added_bytes`` is wire
+        growth from stamping (pre-capabilities / path identifiers).  The
+        shim is mutated in place, exactly as the real header would be.
+        """
+        if isinstance(shim, RequestHeader):
+            return REQUEST, self.process_request(src, dst, shim, now, ingress_id)
+        if isinstance(shim, RegularHeader):
+            return self.process_regular(src, dst, size, shim, now)
+        return LEGACY, 0
+
+    # ------------------------------------------------------------------
+    def process_wire(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        raw: bytes,
+        now: float,
+        ingress_id: Optional[str] = None,
+        cap_ptr: int = 0,
+    ) -> Tuple[str, bytes]:
+        """Byte-level variant of :meth:`process`: decode the Figure 5
+        header, run the pipeline, re-encode.
+
+        This is what a real forwarding path does per packet; the
+        implementation benchmarks use it to include serialization costs.
+        Undecodable headers are treated as legacy traffic (the shim layer
+        is above IP; garbage above IP is just unauthorized bytes).
+        Returns ``(verdict, re-encoded header bytes)``.
+        """
+        from .header import unpack_header  # local import avoids a cycle
+
+        try:
+            shim = unpack_header(raw)
+        except ValueError:
+            return LEGACY, raw
+        if isinstance(shim, RegularHeader):
+            shim.cap_ptr = cap_ptr
+        verdict, _ = self.process(src, dst, size, shim, now, ingress_id)
+        return verdict, shim.pack()
+
+    # ------------------------------------------------------------------
+    def process_request(
+        self,
+        src: int,
+        dst: int,
+        shim: RequestHeader,
+        now: float,
+        ingress_id: Optional[str] = None,
+    ) -> int:
+        """Stamp a request: path identifier at trust boundaries, then our
+        pre-capability (Section 4.3)."""
+        self.requests_processed += 1
+        added = 0
+        if self.trust_boundary and ingress_id is not None:
+            shim.path_ids.append(interface_tag(self.name, ingress_id))
+            added += 2
+        shim.precapabilities.append(mint_precapability(self.secrets, src, dst, now))
+        added += 8
+        return added
+
+    # ------------------------------------------------------------------
+    def process_regular(
+        self, src: int, dst: int, size: int, shim: RegularHeader, now: float
+    ) -> Tuple[str, int]:
+        """Validate / charge a regular or renewal packet (Figure 6)."""
+        flow = (src, dst)
+        # The capability pointer advances at *every* capability router the
+        # packet traverses, whether or not this router ends up validating —
+        # exactly like the wire format's ptr field.  Consuming it lazily
+        # would desynchronize downstream routers whenever an upstream one
+        # answered from cache.
+        my_cap = self._consume_capability(shim)
+        entry = self.state.lookup(flow, now)
+        is_valid = False
+        if entry is not None:
+            if shim.flow_nonce == entry.nonce:
+                # Common case: nonce matches the cached flow.
+                is_valid = self.state.charge(entry, size, now)
+                if is_valid:
+                    self.regular_cached += 1
+            elif my_cap is not None:
+                # First packet with a renewed capability: check and replace.
+                entry = self._validate_and_install(
+                    flow, src, dst, shim, my_cap, now, replace=entry
+                )
+                is_valid = entry is not None and self.state.charge(entry, size, now)
+        else:
+            if my_cap is not None:
+                entry = self._validate_and_install(flow, src, dst, shim, my_cap, now)
+                is_valid = entry is not None and self.state.charge(entry, size, now)
+
+        if not is_valid:
+            self.demotions += 1
+            shim.demoted = True
+            return LEGACY, 0
+
+        added = 0
+        if shim.renewal:
+            # Mint a fresh pre-capability into the packet for the
+            # destination to convert and return (Section 4.3).
+            shim.new_precapabilities.append(
+                mint_precapability(self.secrets, src, dst, now)
+            )
+            self.renewals += 1
+            added = RENEWAL_BYTES_PER_HOP
+        return REGULAR, added
+
+    # ------------------------------------------------------------------
+    def _validate_and_install(
+        self,
+        flow: Hashable,
+        src: int,
+        dst: int,
+        shim: RegularHeader,
+        cap,
+        now: float,
+        replace: Optional[FlowEntry] = None,
+    ) -> Optional[FlowEntry]:
+        if not validate_capability(
+            self.secrets, src, dst, cap, shim.n_bytes, shim.t_seconds, now
+        ):
+            return None
+        self.regular_validated += 1
+        if replace is not None:
+            return self.state.replace(
+                replace, shim.flow_nonce, cap, shim.n_bytes, shim.t_seconds, now
+            )
+        return self.state.create(
+            flow, shim.flow_nonce, cap, shim.n_bytes, shim.t_seconds, now
+        )
+
+    def _consume_capability(self, shim: RegularHeader):
+        """Advance this router's position in the capability list and return
+        the capability at it (``None`` when the packet carries no list or
+        the list is exhausted).
+
+        The wire format's capability pointer advances hop by hop; we model
+        it with ``cap_ptr`` stored on the shim (reset by the sender)."""
+        caps = shim.capabilities
+        if not caps:
+            return None
+        ptr = getattr(shim, "cap_ptr", 0)
+        if ptr >= len(caps):
+            return None
+        shim.cap_ptr = ptr + 1
+        return caps[ptr]
+
+
+class TvaRouterProcessor(RouterProcessor):
+    """Adapter running :class:`TvaRouterCore` inside the simulator."""
+
+    def __init__(self, core: TvaRouterCore) -> None:
+        self.core = core
+
+    def process(
+        self, pkt: Packet, router: Router, in_link: Optional[Link], out_link: Link
+    ) -> bool:
+        # Tag requests only at the trust-boundary ingress ("Routers not at
+        # trust boundaries do not tag requests as the upstream has already
+        # tagged", Section 3.2).  Which links are boundary ingress is
+        # topology knowledge: host access links and inter-domain links.
+        ingress = (
+            in_link.name
+            if in_link is not None and in_link.boundary_ingress
+            else None
+        )
+        verdict, added = self.core.process(
+            pkt.src, pkt.dst, pkt.size, pkt.shim, router.sim.now, ingress
+        )
+        pkt.size += added
+        if verdict == LEGACY and pkt.shim is not None and getattr(pkt.shim, "demoted", False):
+            pkt.demoted = True
+        return True

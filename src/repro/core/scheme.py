@@ -1,0 +1,175 @@
+"""Wiring TVA into a topology (Figure 2's queue management + Figure 6's
+router pipeline + the host proxy), packaged as a
+:class:`~repro.sim.topology.SchemeFactory`.
+
+Each outgoing link of a TVA router schedules three classes:
+
+1. requests — confined to ``request_fraction`` of the link by a token
+   bucket and fair-queued per path identifier;
+2. regular (authorized) packets — fair-queued per destination address over
+   the flows whose capabilities are cached;
+3. legacy and demoted traffic — FIFO, lowest priority.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from ..sim.node import HostShim, RouterProcessor
+from ..sim.packet import Packet
+from ..sim.queues import DropTailQueue, DRRFairQueue, PriorityScheduler, Qdisc, TokenBucket
+from ..sim.topology import SchemeFactory
+from .flowstate import FlowStateTable
+from .header import RegularHeader, RequestHeader
+from .host import TvaHostShim
+from .crypto import SecretManager
+from .params import REQUEST_FRACTION_DEFAULT, TvaParams
+from .pathid import most_recent_tag
+from .params import SERVER_GRANT_BYTES, SERVER_GRANT_SECONDS
+from .policy import (
+    AlwaysGrant,
+    ClientPolicy,
+    DestinationPolicy,
+    ServerPolicy,
+)
+
+
+def default_server_policy() -> ServerPolicy:
+    """The destination policy for the steady-state experiments: a public
+    server granting a generous budget and blacklisting misbehaviour."""
+    return ServerPolicy(default_grant=(SERVER_GRANT_BYTES, SERVER_GRANT_SECONDS))
+from .router import TvaRouterCore, TvaRouterProcessor
+
+
+def _is_request(pkt: Packet) -> bool:
+    return isinstance(pkt.shim, RequestHeader) and not pkt.demoted
+
+
+def _is_regular(pkt: Packet) -> bool:
+    return isinstance(pkt.shim, RegularHeader) and not pkt.demoted
+
+
+def _request_key(pkt: Packet):
+    return most_recent_tag(pkt.shim.path_ids)
+
+
+def _single_queue_key(pkt: Packet):
+    return 0
+
+
+def _destination_key(pkt: Packet):
+    return pkt.dst
+
+
+def _source_key(pkt: Packet):
+    # Section 7 warns against this when sources can be spoofed; offered for
+    # the ablation study and for ISPs whose customers are the senders.
+    return pkt.src
+
+
+class TvaScheme(SchemeFactory):
+    """Factory producing TVA queue disciplines, routers, and host shims."""
+
+    name = "tva"
+
+    def __init__(
+        self,
+        request_fraction: float = REQUEST_FRACTION_DEFAULT,
+        params: Optional[TvaParams] = None,
+        destination_policy: Optional[Callable[[], DestinationPolicy]] = None,
+        state_capacity: Optional[int] = None,
+        seed: int = 42,
+        regular_queue_key: str = "destination",
+        request_fair_queue: bool = True,
+        infer_dead_caps: bool = True,
+    ) -> None:
+        if regular_queue_key not in ("destination", "source"):
+            raise ValueError("regular_queue_key must be 'destination' or 'source'")
+        self.params = params or TvaParams(request_fraction=request_fraction)
+        self.request_fraction = request_fraction
+        self.destination_policy = destination_policy or default_server_policy
+        self.state_capacity = state_capacity
+        self.seed = seed
+        #: Which address authorized traffic is fair-queued on (Section 3.9:
+        #: destination by default; source only where sources are trusted).
+        self.regular_queue_key = regular_queue_key
+        #: Whether requests are fair-queued per path identifier (the
+        #: design) or share one FIFO (an ablation showing why Pi-style
+        #: tags matter).
+        self.request_fair_queue = request_fair_queue
+        #: Section 3.8 dead-capability inference for honest-role shims.
+        self.infer_dead_caps = infer_dead_caps
+        self.rng = random.Random(seed)
+        self.router_cores: Dict[str, TvaRouterCore] = {}
+        self.shims: Dict[str, TvaHostShim] = {}
+
+    # ------------------------------------------------------------------
+    def make_qdisc(self, link_kind: str, bandwidth_bps: float) -> Qdisc:
+        legacy_limit = self.queue_limit(link_kind, bandwidth_bps)
+        request_bucket = TokenBucket(
+            rate_bps=bandwidth_bps * self.request_fraction,
+            burst_bytes=max(3000, int(bandwidth_bps * self.request_fraction / 8 * 0.1)),
+        )
+        request_queue = DRRFairQueue(
+            key_fn=_request_key if self.request_fair_queue else _single_queue_key,
+            limit_bytes_per_queue=4000 if self.request_fair_queue else 16_000,
+            max_queues=4096,
+            quantum=500,
+        )
+        regular_key = (
+            _destination_key if self.regular_queue_key == "destination" else _source_key
+        )
+        regular_queue = DRRFairQueue(
+            key_fn=regular_key,
+            limit_bytes_per_queue=max(16_000, legacy_limit // 2),
+            max_queues=4096,
+            quantum=1500,
+        )
+        legacy_queue = DropTailQueue(limit_bytes=None, limit_pkts=50)
+        return PriorityScheduler(
+            [
+                (_is_request, request_queue, request_bucket),
+                (_is_regular, regular_queue, None),
+                (lambda pkt: True, legacy_queue, None),
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def make_router_processor(
+        self, router_name: str, trust_boundary: bool
+    ) -> Optional[RouterProcessor]:
+        secrets = SecretManager(
+            seed=f"router-{router_name}-{self.seed}".encode(),
+            period=self.params.secret_period,
+        )
+        capacity = self.state_capacity or self.params.state_bound_records(1e9)
+        core = TvaRouterCore(
+            name=router_name,
+            secrets=secrets,
+            state=FlowStateTable(capacity, self.params),
+            trust_boundary=trust_boundary,
+            params=self.params,
+        )
+        self.router_cores[router_name] = core
+        return TvaRouterProcessor(core)
+
+    # ------------------------------------------------------------------
+    def make_host_shim(self, role: str) -> Optional[HostShim]:
+        policy: DestinationPolicy
+        if role == "destination":
+            policy = self.destination_policy()
+        elif role == "colluder":
+            policy = AlwaysGrant()
+        else:  # users and attackers behave as clients
+            policy = ClientPolicy()
+        shim = TvaHostShim(
+            policy=policy,
+            rng=random.Random(self.rng.getrandbits(32)),
+            renewal_threshold=self.params.renewal_threshold,
+            # Modelled attackers never conclude their capabilities are
+            # dead — they keep blasting them at full rate.
+            infer_dead_caps=self.infer_dead_caps and role != "attacker",
+        )
+        self.shims[role] = shim
+        return shim

@@ -1,0 +1,51 @@
+"""Experiment harnesses: one runner per paper figure/table.
+
+* :mod:`repro.eval.experiments` — Figures 8, 9, 10, 11 (ns-style dumbbell
+  simulations of the four schemes under four attack classes).
+* :mod:`repro.eval.procbench` — Table 1 and Figure 12 (packet-processing
+  cost and forwarding-rate micro-benchmarks of the TVA router pipeline).
+"""
+
+from .experiments import (
+    DEFAULT_SWEEP,
+    SCHEMES,
+    ExperimentConfig,
+    Fig11Result,
+    FloodResult,
+    format_flood_table,
+    make_scheme,
+    run_fig8_legacy_flood,
+    run_fig9_request_flood,
+    run_fig10_colluder_flood,
+    run_fig11_imprecise,
+    run_flood_scenario,
+)
+from .procbench import (
+    PACKET_KINDS,
+    ProcessingCost,
+    RouterWorkbench,
+    forwarding_rate_curve,
+    format_table1,
+    measure_processing_costs,
+)
+
+__all__ = [
+    "DEFAULT_SWEEP",
+    "ExperimentConfig",
+    "Fig11Result",
+    "FloodResult",
+    "PACKET_KINDS",
+    "ProcessingCost",
+    "RouterWorkbench",
+    "SCHEMES",
+    "format_flood_table",
+    "format_table1",
+    "forwarding_rate_curve",
+    "make_scheme",
+    "measure_processing_costs",
+    "run_fig10_colluder_flood",
+    "run_fig11_imprecise",
+    "run_fig8_legacy_flood",
+    "run_fig9_request_flood",
+    "run_flood_scenario",
+]

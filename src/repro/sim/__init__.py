@@ -1,0 +1,54 @@
+"""Packet-level discrete-event network simulator (the ns-2 substitute).
+
+Public surface::
+
+    from repro.sim import Simulator, Packet, Link, Host, Router
+    from repro.sim import DropTailQueue, DRRFairQueue, TokenBucket, PriorityScheduler
+    from repro.sim import build_dumbbell, SchemeFactory, TransferLog
+"""
+
+from .engine import Event, SimulationError, Simulator
+from .link import Link
+from .node import Host, HostShim, Node, Router, RouterProcessor
+from .packet import CAPABILITY_HEADER, IP_TCP_HEADER, Packet
+from .queues import (
+    DRRFairQueue,
+    DropTailQueue,
+    PriorityScheduler,
+    Qdisc,
+    TokenBucket,
+)
+from .routing import RoutingError, build_static_routes
+from .topology import Dumbbell, SchemeFactory, build_chain, build_dumbbell, build_two_tier
+from .trace import LinkMonitor, LinkSample, TransferLog, TransferRecord
+
+__all__ = [
+    "CAPABILITY_HEADER",
+    "DRRFairQueue",
+    "DropTailQueue",
+    "Dumbbell",
+    "Event",
+    "Host",
+    "HostShim",
+    "IP_TCP_HEADER",
+    "Link",
+    "LinkMonitor",
+    "LinkSample",
+    "Node",
+    "Packet",
+    "PriorityScheduler",
+    "Qdisc",
+    "Router",
+    "RouterProcessor",
+    "RoutingError",
+    "SchemeFactory",
+    "SimulationError",
+    "Simulator",
+    "TokenBucket",
+    "TransferLog",
+    "TransferRecord",
+    "build_chain",
+    "build_two_tier",
+    "build_dumbbell",
+    "build_static_routes",
+]

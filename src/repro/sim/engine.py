@@ -1,0 +1,158 @@
+"""Discrete-event simulation engine.
+
+This is the substrate that replaces ns-2 in the paper's evaluation.  It is a
+classic calendar-of-events simulator: callbacks are scheduled at absolute
+simulated times, a binary heap orders them, and :meth:`Simulator.run` drains
+the heap while advancing the clock.
+
+Design notes
+------------
+* Events with equal timestamps fire in FIFO scheduling order (a
+  monotonically increasing sequence number breaks heap ties), so the
+  simulation is fully deterministic for a given seed.
+* Cancellation is O(1): a cancelled event stays in the heap but is skipped
+  when popped.  This is the standard "lazy deletion" trick and matters for
+  protocols (TCP) that cancel and re-arm retransmit timers constantly.
+* Time is a float in seconds, like ns-2.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Returned by :meth:`Simulator.at` / :meth:`Simulator.after` so the caller
+    can later :meth:`Simulator.cancel` it.  ``time`` is the absolute
+    simulated time at which the callback fires.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class SimulationError(Exception):
+    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """The event loop.
+
+    A single :class:`Simulator` instance owns the clock for one experiment.
+    Components hold a reference to it and schedule their work through it::
+
+        sim = Simulator()
+        sim.after(1.0, lambda: print("one second in"))
+        sim.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, current time is {self.now:.6f}"
+            )
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.at(self.now + delay, fn, *args)
+
+    @staticmethod
+    def cancel(event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event.  Cancelling ``None`` or an
+        already-cancelled event is a no-op, which simplifies timer code."""
+        if event is not None:
+            event.cancelled = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the number of events processed
+        by this call.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        on return even if the heap drained earlier, so back-to-back ``run``
+        calls behave like one long run.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        heap = self._heap
+        try:
+            while heap and not self._stopped:
+                event = heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                event.fn(*event.args)
+                processed += 1
+                self._events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+        return processed
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still in the heap."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events fired over the simulator's lifetime."""
+        return self._events_processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now:.6f} pending={self.pending}>"

@@ -1,0 +1,115 @@
+"""Unidirectional links.
+
+A :class:`Link` models a serial transmission line: packets leave the
+attached queue discipline one at a time at ``bandwidth_bps``, then take
+``delay`` seconds of propagation to arrive at the remote node.  This is the
+same store-and-forward model ns-2 uses, so queueing dynamics (and therefore
+the paper's transfer-time results) carry over.
+
+Rate-limited disciplines (TVA's request class) can have a backlog without a
+sendable packet; the link then parks itself and re-polls at the time the
+discipline promises readiness via ``next_ready``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .engine import Event, Simulator
+from .packet import Packet
+from .queues import Qdisc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+
+class Link:
+    """One direction of a wire between two nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: "Node",
+        dst: "Node",
+        bandwidth_bps: float,
+        delay: float,
+        qdisc: Qdisc,
+        name: Optional[str] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.delay = delay
+        self.qdisc = qdisc
+        self.name = name or f"{src.name}->{dst.name}"
+        #: Whether this link crosses into a trust domain at its far end:
+        #: a trust-boundary router tags requests arriving over such links
+        #: (Section 3.2).  Topology builders set it for host access links
+        #: and inter-domain links.
+        self.boundary_ingress = False
+        self._busy = False
+        self._poll_event: Optional[Event] = None
+        # Counters for utilization traces.
+        self.tx_packets = 0
+        self.tx_bytes = 0
+
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Hand a packet to this link's queue; starts transmission if idle.
+
+        Returns ``False`` when the queue discipline dropped the packet.
+        """
+        ok = self.qdisc.enqueue(pkt)
+        if ok and not self._busy:
+            self._pump()
+        return ok
+
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Try to put the next queued packet on the wire."""
+        if self._busy:
+            return
+        now = self.sim.now
+        pkt = self.qdisc.dequeue(now)
+        if pkt is None:
+            # Backlogged but rate-limited: re-poll when tokens accrue.
+            ready = self.qdisc.next_ready(now)
+            if ready is not None and self._poll_event is None:
+                # Floor the poll delay at 1 µs so float rounding in a rate
+                # limiter can never freeze simulated time.
+                delay = max(1e-6, ready - now)
+                self._poll_event = self.sim.after(delay, self._poll)
+            return
+        self._busy = True
+        tx_time = pkt.size * 8.0 / self.bandwidth_bps
+        self.tx_packets += 1
+        self.tx_bytes += pkt.size
+        self.sim.after(tx_time, self._tx_done, pkt)
+
+    def _poll(self) -> None:
+        self._poll_event = None
+        self._pump()
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self._busy = False
+        self.sim.after(self.delay, self.dst.receive, pkt, self)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    @property
+    def drops(self) -> int:
+        return self.qdisc.drops
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of capacity used over ``elapsed`` seconds of simulation."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.tx_bytes * 8.0 / (self.bandwidth_bps * elapsed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.bandwidth_bps/1e6:.1f}Mb/s {self.delay*1e3:.0f}ms>"

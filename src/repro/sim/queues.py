@@ -1,0 +1,380 @@
+"""Queue disciplines.
+
+Routers in every evaluated scheme are built from three primitives:
+
+* :class:`DropTailQueue` — the plain FIFO used by the legacy Internet and
+  for legacy/demoted traffic in TVA.
+* :class:`DRRFairQueue` — deficit round robin fair queuing, the bounded-state
+  fair queuing TVA performs over request path identifiers and over the
+  destinations of cached authorized flows (Sections 3.2 and 3.9).
+* :class:`TokenBucket` — the rate limiter that confines request traffic to a
+  small fixed fraction of each link (Section 3.2).
+
+All disciplines share the :class:`Qdisc` interface: ``enqueue`` returns
+``False`` when the packet is dropped, ``dequeue(now)`` returns the next
+packet or ``None``, and ``next_ready(now)`` tells a link when a currently
+undequeuable backlog will become ready (used by rate-limited classes).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Hashable, List, Optional
+
+from .packet import Packet
+
+
+class Qdisc:
+    """Interface shared by all queue disciplines."""
+
+    def __init__(self) -> None:
+        self.backlog_bytes = 0
+        self.backlog_pkts = 0
+        self.drops = 0
+        self.drop_bytes = 0
+        #: Optional callback invoked with each dropped packet; pushback's
+        #: aggregate detection feeds on this.
+        self.drop_hook: Optional[Callable[[Packet], None]] = None
+
+    # -- subclass API ---------------------------------------------------
+    def enqueue(self, pkt: Packet) -> bool:
+        raise NotImplementedError
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        raise NotImplementedError
+
+    def next_ready(self, now: float) -> Optional[float]:
+        """Earliest absolute time a backlogged packet could dequeue, or
+        ``None`` when nothing is waiting.  The default says "now" whenever
+        there is a backlog; rate-limited disciplines override this."""
+        return now if self.backlog_pkts else None
+
+    # -- shared bookkeeping ---------------------------------------------
+    def _account_in(self, pkt: Packet) -> None:
+        self.backlog_bytes += pkt.size
+        self.backlog_pkts += 1
+
+    def _account_out(self, pkt: Packet) -> None:
+        self.backlog_bytes -= pkt.size
+        self.backlog_pkts -= 1
+
+    def _account_drop(self, pkt: Packet) -> None:
+        self.drops += 1
+        self.drop_bytes += pkt.size
+        if self.drop_hook is not None:
+            self.drop_hook(pkt)
+
+
+class DropTailQueue(Qdisc):
+    """Plain FIFO; arrivals beyond the limit are dropped.
+
+    The limit can be in packets (ns-2's default DropTail style, used by the
+    legacy-Internet baseline so large flood packets and small TCP control
+    packets face the same loss rate) or in bytes, or both."""
+
+    def __init__(
+        self,
+        limit_bytes: Optional[int] = 64_000,
+        limit_pkts: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if limit_bytes is None and limit_pkts is None:
+            raise ValueError("need a byte or packet limit")
+        if limit_bytes is not None and limit_bytes <= 0:
+            raise ValueError("queue byte limit must be positive")
+        if limit_pkts is not None and limit_pkts <= 0:
+            raise ValueError("queue packet limit must be positive")
+        self.limit_bytes = limit_bytes
+        self.limit_pkts = limit_pkts
+        self._queue: Deque[Packet] = deque()
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if self.limit_bytes is not None and self.backlog_bytes + pkt.size > self.limit_bytes:
+            self._account_drop(pkt)
+            return False
+        if self.limit_pkts is not None and self.backlog_pkts + 1 > self.limit_pkts:
+            self._account_drop(pkt)
+            return False
+        self._queue.append(pkt)
+        self._account_in(pkt)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        pkt = self._queue.popleft()
+        self._account_out(pkt)
+        return pkt
+
+
+class DRRFairQueue(Qdisc):
+    """Deficit round robin fair queue with a bounded number of per-key queues.
+
+    ``key_fn`` maps a packet to its queue identity — a path identifier for
+    request queuing, a destination address for authorized-traffic queuing.
+    The number of simultaneously backlogged keys is capped at ``max_queues``
+    (the paper's bounded router state requirement); packets for new keys
+    beyond the cap are dropped.
+
+    Fairness is byte-based: each active queue receives ``quantum`` bytes of
+    deficit per round, the standard DRR algorithm of Shreedhar & Varghese.
+    """
+
+    def __init__(
+        self,
+        key_fn: Callable[[Packet], Hashable],
+        limit_bytes_per_queue: int = 32_000,
+        max_queues: int = 4096,
+        quantum: int = 1500,
+    ) -> None:
+        super().__init__()
+        self.key_fn = key_fn
+        self.limit_bytes_per_queue = limit_bytes_per_queue
+        self.max_queues = max_queues
+        self.quantum = quantum
+        self._queues: "OrderedDict[Hashable, Deque[Packet]]" = OrderedDict()
+        self._bytes: Dict[Hashable, int] = {}
+        self._deficit: Dict[Hashable, int] = {}
+        self._round: List[Hashable] = []  # active keys in round-robin order
+        self._round_idx = 0
+        # Whether the queue at _round_idx already received its quantum for
+        # the current round visit; without this flag a queue would be
+        # topped up on every dequeue and monopolize the scheduler.
+        self._topped: Dict[Hashable, bool] = {}
+
+    @property
+    def active_queues(self) -> int:
+        return len(self._round)
+
+    def enqueue(self, pkt: Packet) -> bool:
+        key = self.key_fn(pkt)
+        queue = self._queues.get(key)
+        if queue is None:
+            if len(self._queues) >= self.max_queues:
+                self._account_drop(pkt)
+                return False
+            queue = deque()
+            self._queues[key] = queue
+            self._bytes[key] = 0
+            self._deficit[key] = 0
+            self._topped[key] = False
+            self._round.append(key)
+        if self._bytes[key] + pkt.size > self.limit_bytes_per_queue:
+            self._account_drop(pkt)
+            return False
+        queue.append(pkt)
+        self._bytes[key] += pkt.size
+        self._account_in(pkt)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self.backlog_pkts:
+            return None
+        # Classic DRR (Shreedhar & Varghese): on *arriving* at a queue in
+        # round order its deficit grows by one quantum; packets are served
+        # while the deficit covers them; when it no longer does, the
+        # scheduler moves on and the queue waits for its next round.
+        while True:
+            if self._round_idx >= len(self._round):
+                self._round_idx = 0
+            key = self._round[self._round_idx]
+            queue = self._queues[key]
+            if not queue:
+                self._retire(key)
+                continue
+            if not self._topped[key]:
+                self._deficit[key] += self.quantum
+                self._topped[key] = True
+            head = queue[0]
+            if self._deficit[key] < head.size:
+                # Spent for this round; revisit after the others.
+                self._topped[key] = False
+                self._round_idx += 1
+                continue
+            queue.popleft()
+            self._deficit[key] -= head.size
+            self._bytes[key] -= head.size
+            self._account_out(head)
+            if not queue:
+                self._retire(key)
+            return head
+
+    def _retire(self, key: Hashable) -> None:
+        """Remove an emptied queue so idle keys hold no state or deficit."""
+        idx = self._round.index(key)
+        del self._round[idx]
+        if idx < self._round_idx:
+            self._round_idx -= 1
+        del self._queues[key]
+        del self._bytes[key]
+        del self._deficit[key]
+        del self._topped[key]
+
+
+class StochasticFairQueue(DRRFairQueue):
+    """Stochastic fair queuing (McKenney / SFQ): flows hash onto a fixed
+    number of DRR queues instead of getting their own.
+
+    The paper considers this as the alternative to its
+    bounded-cached-flows scheme and rejects it: "we believe our scheme has
+    the potential to prevent attackers from using deliberate hash
+    collisions to crowd out legitimate users" (Section 3.9).  This
+    implementation exists to make that comparison runnable — see
+    ``tests/sim/test_sfq.py`` for the collision attack.
+    """
+
+    def __init__(
+        self,
+        key_fn: Callable[[Packet], Hashable],
+        n_buckets: int = 16,
+        limit_bytes_per_queue: int = 32_000,
+        quantum: int = 1500,
+        salt: int = 0,
+    ) -> None:
+        super().__init__(
+            key_fn=self._bucket_of,
+            limit_bytes_per_queue=limit_bytes_per_queue,
+            max_queues=n_buckets,
+            quantum=quantum,
+        )
+        self._flow_key_fn = key_fn
+        self.n_buckets = n_buckets
+        self.salt = salt
+
+    def _bucket_of(self, pkt: Packet) -> int:
+        return hash((self._flow_key_fn(pkt), self.salt)) % self.n_buckets
+
+
+class TokenBucket:
+    """A token bucket metering bytes at ``rate_bps`` bits per second.
+
+    Tokens are stored as bytes.  ``burst_bytes`` caps accumulation so an
+    idle request class cannot save up an unbounded burst allowance.
+    """
+
+    def __init__(self, rate_bps: float, burst_bytes: int = 3000) -> None:
+        if rate_bps <= 0:
+            raise ValueError("token bucket rate must be positive")
+        self.rate_Bps = rate_bps / 8.0
+        self.burst_bytes = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(
+                self.burst_bytes, self._tokens + (now - self._last) * self.rate_Bps
+            )
+            self._last = now
+
+    def available(self, now: float) -> float:
+        self._refill(now)
+        return self._tokens
+
+    #: Tolerance for float rounding in refill arithmetic.  Without it a
+    #: bucket can asymptotically approach (but never reach) a packet's
+    #: size, deadlocking the link that polls on ``time_until``.
+    _EPSILON = 1e-6
+
+    def try_consume(self, nbytes: int, now: float) -> bool:
+        self._refill(now)
+        if self._tokens >= nbytes - self._EPSILON:
+            self._tokens -= nbytes
+            return True
+        return False
+
+    def time_until(self, nbytes: int, now: float) -> float:
+        """Absolute time at which ``nbytes`` of tokens will be available."""
+        self._refill(now)
+        deficit = nbytes - self._tokens
+        if deficit <= self._EPSILON:
+            return now
+        return now + deficit / self.rate_Bps
+
+
+class PriorityScheduler(Qdisc):
+    """Strict-priority composition of child disciplines.
+
+    ``classes`` is an ordered list of ``(classifier, qdisc, bucket)``
+    triples.  An arriving packet is enqueued into the first class whose
+    classifier accepts it.  Dequeue serves the highest-priority class with
+    a ready packet; a class with a token bucket may only send when the
+    bucket covers the head packet (this is how TVA confines requests to 5%
+    of the link without ever letting them starve, Figure 2).
+    """
+
+    def __init__(
+        self,
+        classes: List,
+    ) -> None:
+        super().__init__()
+        self._classes = []
+        # A rate-limited class may have dequeued a head packet it cannot yet
+        # afford; it is parked here (index-aligned with _classes) until its
+        # tokens accrue.  Parking the real packet lets next_ready() report
+        # the exact wait, which is what keeps links from busy-polling.
+        self._deferred: List[Optional[Packet]] = []
+        for entry in classes:
+            classifier, qdisc = entry[0], entry[1]
+            bucket = entry[2] if len(entry) > 2 else None
+            self._classes.append((classifier, qdisc, bucket))
+            self._deferred.append(None)
+
+    @property
+    def children(self) -> List[Qdisc]:
+        return [qdisc for _, qdisc, _ in self._classes]
+
+    def enqueue(self, pkt: Packet) -> bool:
+        for classifier, qdisc, _ in self._classes:
+            if classifier(pkt):
+                ok = qdisc.enqueue(pkt)
+                if ok:
+                    self._account_in(pkt)
+                else:
+                    self.drops += 1
+                    self.drop_bytes += pkt.size
+                    if self.drop_hook is not None:
+                        self.drop_hook(pkt)
+                return ok
+        # No class claimed the packet: drop it.
+        self._account_drop(pkt)
+        return False
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        for idx, (_, qdisc, bucket) in enumerate(self._classes):
+            if bucket is None:
+                pkt = qdisc.dequeue(now)
+                if pkt is not None:
+                    self._account_out(pkt)
+                    return pkt
+                continue
+            pkt = self._deferred[idx]
+            if pkt is None:
+                pkt = qdisc.dequeue(now)
+            if pkt is None:
+                continue
+            if bucket.try_consume(pkt.size, now):
+                self._deferred[idx] = None
+                self._account_out(pkt)
+                return pkt
+            # Not enough tokens yet; park the head and let a lower class go.
+            self._deferred[idx] = pkt
+        return None
+
+    def next_ready(self, now: float) -> Optional[float]:
+        best: Optional[float] = None
+        for idx, (_, qdisc, bucket) in enumerate(self._classes):
+            deferred = self._deferred[idx]
+            if deferred is None and not qdisc.backlog_pkts:
+                continue
+            if bucket is None:
+                return now
+            if deferred is not None:
+                t = bucket.time_until(deferred.size, now)
+            else:
+                # A head packet exists but has not been pulled yet; the next
+                # dequeue attempt will park it and refine the estimate.
+                t = now
+            if best is None or t < best:
+                best = t
+        return best

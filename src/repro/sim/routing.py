@@ -1,0 +1,62 @@
+"""Static shortest-path routing.
+
+The paper's simulations use fixed routes on a dumbbell; we compute them
+once, up front, with breadth-first search over the node graph (all links
+weigh 1 hop).  Each node's ``routing`` table maps a destination *address*
+(host addresses only — routers are not packet destinations) to the outgoing
+:class:`~repro.sim.link.Link` on the shortest path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List
+
+from .link import Link
+from .node import Host, Node
+
+
+class RoutingError(Exception):
+    """Raised when a host is unreachable from some node."""
+
+
+def _neighbors(node: Node) -> Iterable[Link]:
+    return node.links_out
+
+
+def build_static_routes(nodes: List[Node]) -> None:
+    """Populate every node's routing table toward every host address.
+
+    For each host H, run a BFS backwards from H over reverse links; for
+    every other node, the first hop on the shortest path to H becomes the
+    route.  With symmetric topologies (every builder in this package creates
+    duplex links) a forward BFS from each node would give identical results,
+    but the backward sweep is O(hosts * edges) instead of O(nodes * edges).
+    """
+    # Build reverse adjacency: for BFS from the destination we need, for each
+    # node, the links that point *at* it.
+    incoming: Dict[Node, List[Link]] = {node: [] for node in nodes}
+    for node in nodes:
+        for link in node.links_out:
+            if link.dst in incoming:
+                incoming[link.dst].append(link)
+
+    hosts = [node for node in nodes if isinstance(node, Host)]
+    for host in hosts:
+        dist: Dict[Node, int] = {host: 0}
+        frontier = deque([host])
+        while frontier:
+            cur = frontier.popleft()
+            for link in incoming[cur]:
+                prev = link.src
+                if prev not in dist:
+                    dist[prev] = dist[cur] + 1
+                    prev.routing[host.address] = link
+                    frontier.append(prev)
+                elif dist[prev] == dist[cur] + 1 and host.address not in prev.routing:
+                    prev.routing[host.address] = link
+        unreachable = [n.name for n in nodes if n is not host and n not in dist]
+        if unreachable:
+            raise RoutingError(
+                f"host {host.name} (addr {host.address}) unreachable from: {unreachable}"
+            )

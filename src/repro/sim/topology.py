@@ -1,0 +1,267 @@
+"""Topology builders.
+
+:func:`build_dumbbell` constructs the simulation topology of Figure 7: ten
+legitimate users and a variable number of attackers on the left, a 10 Mb/s
+10 ms bottleneck in the middle, and the destination (plus an optional
+colluder) on the right.  Access links add 10 ms each way, giving the
+paper's 60 ms RTT.
+
+Builders are scheme-parametric.  A *scheme* object supplies the queue
+discipline for each link, the router processor, and the host shim; the four
+schemes the paper compares (TVA, SIFF, pushback, legacy Internet) each
+implement this factory protocol.  See :class:`SchemeFactory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .engine import Simulator
+from .link import Link
+from .node import Host, HostShim, Node, Router, RouterProcessor
+from .queues import DropTailQueue, Qdisc
+from .routing import build_static_routes
+
+
+class SchemeFactory:
+    """Factory protocol a DoS-defense scheme implements to wire a topology.
+
+    The default implementations give the legacy Internet: FIFO queues,
+    no router processing, no host shim.
+    """
+
+    name = "legacy"
+
+    #: ns-2-style DropTail packet limit used by the legacy Internet.
+    queue_limit_pkts = 50
+
+    def make_qdisc(self, link_kind: str, bandwidth_bps: float) -> Qdisc:
+        """``link_kind`` is one of ``bottleneck``, ``access_up`` (host to
+        router), ``access_down``, ``core`` (router to router, reverse)."""
+        return DropTailQueue(limit_bytes=None, limit_pkts=self.queue_limit_pkts)
+
+    def queue_limit(self, link_kind: str, bandwidth_bps: float) -> int:
+        # ~50 ms of buffering at link rate, floored at a handful of MTUs:
+        # comparable to the paper's ns defaults of tens of packets.
+        return max(15_000, int(bandwidth_bps / 8 * 0.05))
+
+    def make_router_processor(self, router_name: str, trust_boundary: bool) -> Optional[RouterProcessor]:
+        return None
+
+    def make_host_shim(self, role: str) -> Optional[HostShim]:
+        """``role`` is ``user``, ``attacker``, ``destination`` or ``colluder``."""
+        return None
+
+    def wire(self, net: "Dumbbell") -> None:
+        """Post-construction hook (e.g. pushback registers the links whose
+        drops it monitors)."""
+
+
+@dataclass
+class Dumbbell:
+    """The constructed Figure 7 network plus handles to everything in it."""
+
+    sim: Simulator
+    users: List[Host] = field(default_factory=list)
+    attackers: List[Host] = field(default_factory=list)
+    destination: Optional[Host] = None
+    colluder: Optional[Host] = None
+    left: Optional[Router] = None
+    right: Optional[Router] = None
+    bottleneck: Optional[Link] = None
+    reverse_bottleneck: Optional[Link] = None
+    nodes: List[Node] = field(default_factory=list)
+    links: List[Link] = field(default_factory=list)
+
+    def host_by_address(self, address: int) -> Optional[Host]:
+        for node in self.nodes:
+            if isinstance(node, Host) and node.address == address:
+                return node
+        return None
+
+
+def _duplex(
+    scheme: SchemeFactory,
+    sim: Simulator,
+    a: Node,
+    b: Node,
+    bandwidth_bps: float,
+    delay: float,
+    kind_ab: str,
+    kind_ba: str,
+    links: List[Link],
+) -> tuple:
+    ab = Link(sim, a, b, bandwidth_bps, delay, scheme.make_qdisc(kind_ab, bandwidth_bps))
+    ba = Link(sim, b, a, bandwidth_bps, delay, scheme.make_qdisc(kind_ba, bandwidth_bps))
+    # A host's uplink delivers traffic entering the trust domain: the
+    # router at its far end tags requests arriving over it.
+    ab.boundary_ingress = kind_ab == "access_up"
+    ba.boundary_ingress = kind_ba == "access_up"
+    a.add_link(ab)
+    b.add_link(ba)
+    links.extend((ab, ba))
+    return ab, ba
+
+
+def build_dumbbell(
+    sim: Simulator,
+    scheme: SchemeFactory,
+    n_users: int = 10,
+    n_attackers: int = 10,
+    bottleneck_bps: float = 10e6,
+    bottleneck_delay: float = 0.010,
+    access_bps: float = 100e6,
+    access_delay: float = 0.010,
+    with_colluder: bool = True,
+) -> Dumbbell:
+    """Build the Figure 7 dumbbell for ``scheme``.
+
+    Left router is the trust boundary where path identifiers are stamped
+    (one ingress interface per host, so each sender gets a distinct tag,
+    matching the paper's "AS edge" behaviour).
+    """
+    net = Dumbbell(sim=sim)
+    # Both routers are AS-edge trust boundaries: each tags requests
+    # arriving from its directly attached hosts (Section 3.2).
+    left = Router(sim, "R1", scheme.make_router_processor("R1", trust_boundary=True))
+    right = Router(sim, "R2", scheme.make_router_processor("R2", trust_boundary=True))
+    net.left, net.right = left, right
+    net.nodes.extend((left, right))
+
+    net.bottleneck, net.reverse_bottleneck = _duplex(
+        scheme, sim, left, right, bottleneck_bps, bottleneck_delay,
+        "bottleneck", "core", net.links,
+    )
+
+    next_addr = 1
+
+    def add_host(name: str, role: str, side: Router) -> Host:
+        nonlocal next_addr
+        host = Host(sim, name, next_addr, shim=scheme.make_host_shim(role))
+        next_addr += 1
+        _duplex(scheme, sim, host, side, access_bps, access_delay,
+                "access_up", "access_down", net.links)
+        net.nodes.append(host)
+        return host
+
+    for i in range(n_users):
+        net.users.append(add_host(f"user{i}", "user", left))
+    for i in range(n_attackers):
+        net.attackers.append(add_host(f"attacker{i}", "attacker", left))
+    net.destination = add_host("destination", "destination", right)
+    if with_colluder:
+        net.colluder = add_host("colluder", "colluder", right)
+
+    build_static_routes(net.nodes)
+    scheme.wire(net)
+    return net
+
+
+def build_two_tier(
+    sim: Simulator,
+    scheme: SchemeFactory,
+    n_sites: int = 4,
+    hosts_per_site: int = 4,
+    bottleneck_bps: float = 10e6,
+    edge_bps: float = 100e6,
+    access_bps: float = 100e6,
+    delay: float = 0.005,
+) -> Dumbbell:
+    """A two-level sender tree exercising path-identifier semantics.
+
+    Hosts sit behind *site* routers (stub networks below the trust
+    boundary); sites connect to one edge router — the trust boundary —
+    which aggregates into the core and the bottleneck.  The edge tags
+    requests per site uplink, so every host of a site carries the same
+    path identifier: "senders that share the same path identifier share
+    fate, localizing the impact of an attack" (Section 3.2).  The core
+    routers do not re-tag.
+
+    ``net.users`` lists hosts site by site (``hosts_per_site`` hosts per
+    site); the destination sits behind the far core router.
+    """
+    net = Dumbbell(sim=sim)
+    edge = Router(sim, "EDGE", scheme.make_router_processor("EDGE", trust_boundary=True))
+    core_left = Router(sim, "C1", scheme.make_router_processor("C1", trust_boundary=False))
+    core_right = Router(sim, "C2", scheme.make_router_processor("C2", trust_boundary=True))
+    net.left, net.right = core_left, core_right
+    net.nodes.extend((edge, core_left, core_right))
+    _duplex(scheme, sim, edge, core_left, edge_bps, delay, "core", "core", net.links)
+    net.bottleneck, net.reverse_bottleneck = _duplex(
+        scheme, sim, core_left, core_right, bottleneck_bps, delay,
+        "bottleneck", "core", net.links,
+    )
+
+    next_addr = 1
+    for s in range(n_sites):
+        site = Router(sim, f"S{s}", processor=None)  # stub LAN switch
+        net.nodes.append(site)
+        up, _down = _duplex(scheme, sim, site, edge, edge_bps, delay,
+                            "core", "core", net.links)
+        # The site's uplink is where traffic enters the trust domain.
+        up.boundary_ingress = True
+        for h in range(hosts_per_site):
+            host = Host(sim, f"h{s}.{h}", next_addr,
+                        shim=scheme.make_host_shim("user"))
+            next_addr += 1
+            # Host links are *below* the boundary: the site does not tag.
+            host_up, host_down = _duplex(scheme, sim, host, site, access_bps,
+                                         delay, "core", "core", net.links)
+            host_up.boundary_ingress = False
+            net.users.append(host)
+            net.nodes.append(host)
+
+    destination = Host(sim, "destination", next_addr,
+                       shim=scheme.make_host_shim("destination"))
+    net.destination = destination
+    net.nodes.append(destination)
+    _duplex(scheme, sim, destination, core_right, access_bps, delay,
+            "access_up", "access_down", net.links)
+
+    build_static_routes(net.nodes)
+    scheme.wire(net)
+    return net
+
+
+def build_chain(
+    sim: Simulator,
+    scheme: SchemeFactory,
+    n_routers: int = 3,
+    n_hosts_per_end: int = 1,
+    link_bps: float = 10e6,
+    delay: float = 0.005,
+) -> Dumbbell:
+    """A linear chain of routers with hosts at each end.
+
+    Used by tests and by the incremental-deployment example (Section 8):
+    processors can be attached to only a subset of the routers.
+    """
+    net = Dumbbell(sim=sim)
+    routers = [
+        Router(sim, f"R{i}", scheme.make_router_processor(f"R{i}", trust_boundary=(i == 0)))
+        for i in range(n_routers)
+    ]
+    net.nodes.extend(routers)
+    net.left, net.right = routers[0], routers[-1]
+    for a, b in zip(routers, routers[1:]):
+        ab, _ = _duplex(scheme, sim, a, b, link_bps, delay, "bottleneck", "core", net.links)
+        if net.bottleneck is None:
+            net.bottleneck = ab
+
+    next_addr = 1
+
+    def add_host(name: str, role: str, side: Router) -> Host:
+        nonlocal next_addr
+        host = Host(sim, name, next_addr, shim=scheme.make_host_shim(role))
+        next_addr += 1
+        _duplex(scheme, sim, host, side, link_bps * 10, delay, "access_up", "access_down", net.links)
+        net.nodes.append(host)
+        return host
+
+    for i in range(n_hosts_per_end):
+        net.users.append(add_host(f"src{i}", "user", routers[0]))
+    net.destination = add_host("dst", "destination", routers[-1])
+    build_static_routes(net.nodes)
+    scheme.wire(net)
+    return net

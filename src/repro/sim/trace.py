@@ -1,0 +1,157 @@
+"""Measurement instrumentation.
+
+The paper's simulation metrics are (i) the average fraction of completed
+transfers and (ii) the average time of the transfers that complete
+(Section 5).  :class:`TransferLog` collects exactly those, plus the
+per-transfer time series needed for Figure 11.  :class:`LinkMonitor`
+samples a link's utilization, backlog, and drops over time — the view an
+operator would graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+    from .link import Link
+
+
+@dataclass
+class TransferRecord:
+    """One application-level transfer attempt."""
+
+    src: int
+    dst: int
+    nbytes: int
+    start: float
+    end: Optional[float] = None
+    aborted: bool = False
+
+    @property
+    def completed(self) -> bool:
+        return self.end is not None and not self.aborted
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+
+@dataclass
+class TransferLog:
+    """Aggregates transfer attempts across all legitimate users."""
+
+    records: List[TransferRecord] = field(default_factory=list)
+
+    def open(self, src: int, dst: int, nbytes: int, start: float) -> TransferRecord:
+        record = TransferRecord(src=src, dst=dst, nbytes=nbytes, start=start)
+        self.records.append(record)
+        return record
+
+    # -- paper metrics ---------------------------------------------------
+    @property
+    def attempted(self) -> int:
+        """Transfers that finished one way or the other, see
+        :meth:`attempted_by`."""
+        return self.attempted_by(None)
+
+    def attempted_by(self, horizon: Optional[float]) -> int:
+        """Transfers that count for the completion fraction.
+
+        A record counts when it finished (completed or aborted), or when it
+        started at or before ``horizon`` — a transfer that began early and
+        is still hanging at the end of the measurement window was denied
+        service and must count against the scheme, not be censored."""
+        return sum(
+            1
+            for r in self.records
+            if r.end is not None
+            or r.aborted
+            or (horizon is not None and r.start <= horizon)
+        )
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.records if r.completed)
+
+    def fraction_completed(self, horizon: Optional[float] = None) -> float:
+        attempted = self.attempted_by(horizon)
+        if attempted == 0:
+            return 0.0
+        return self.completed / attempted
+
+    def average_completion_time(self) -> Optional[float]:
+        durations = [r.duration for r in self.records if r.completed]
+        if not durations:
+            return None
+        return sum(durations) / len(durations)
+
+    def time_series(self) -> List[tuple]:
+        """(start_time, duration) for each completed transfer — Figure 11."""
+        return sorted(
+            (r.start, r.duration) for r in self.records if r.completed
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class LinkSample:
+    """One interval's view of a link."""
+
+    time: float
+    utilization: float  # fraction of capacity used over the interval
+    backlog_pkts: int
+    drops: int          # drops during the interval
+
+
+class LinkMonitor:
+    """Periodic sampler of a link's utilization, backlog, and drops.
+
+    Attach one to any link and read ``samples`` after the run::
+
+        monitor = LinkMonitor(sim, net.bottleneck, interval=0.5)
+        sim.run(until=10.0)
+        peak = max(s.utilization for s in monitor.samples)
+    """
+
+    def __init__(self, sim: "Simulator", link: "Link", interval: float = 1.0) -> None:
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.sim = sim
+        self.link = link
+        self.interval = interval
+        self.samples: List[LinkSample] = []
+        self._last_tx_bytes = link.tx_bytes
+        self._last_drops = link.qdisc.drops
+        sim.after(interval, self._sample)
+
+    def _sample(self) -> None:
+        link = self.link
+        sent = link.tx_bytes - self._last_tx_bytes
+        dropped = link.qdisc.drops - self._last_drops
+        self._last_tx_bytes = link.tx_bytes
+        self._last_drops = link.qdisc.drops
+        self.samples.append(
+            LinkSample(
+                time=self.sim.now,
+                utilization=min(
+                    1.0, sent * 8.0 / (link.bandwidth_bps * self.interval)
+                ),
+                backlog_pkts=link.qdisc.backlog_pkts,
+                drops=dropped,
+            )
+        )
+        self.sim.after(self.interval, self._sample)
+
+    def mean_utilization(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.utilization for s in self.samples) / len(self.samples)
+
+    def total_drops(self) -> int:
+        return sum(s.drops for s in self.samples)

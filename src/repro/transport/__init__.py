@@ -1,0 +1,27 @@
+"""Transport substrate: the paper-modified TCP and traffic agents."""
+
+from .agents import CbrFlood, PacketSink, RepeatingTransferClient
+from .tcp import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_RST,
+    FLAG_SYN,
+    TcpListener,
+    TcpParams,
+    TcpSegment,
+    TcpSender,
+)
+
+__all__ = [
+    "CbrFlood",
+    "PacketSink",
+    "FLAG_ACK",
+    "FLAG_FIN",
+    "FLAG_RST",
+    "FLAG_SYN",
+    "RepeatingTransferClient",
+    "TcpListener",
+    "TcpParams",
+    "TcpSegment",
+    "TcpSender",
+]

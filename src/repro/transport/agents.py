@@ -1,0 +1,203 @@
+"""Traffic agents: the workloads of Section 5.
+
+* :class:`RepeatingTransferClient` — a legitimate user: 20 KB TCP
+  transfers back to back, "the next transfer starting after the previous
+  one completes or aborts due to excessive loss".
+* :class:`CbrFlood` — an attacker: a constant-bit-rate flood at 1 Mb/s.
+  Three modes cover the paper's three flood classes: ``legacy`` (plain IP
+  packets), ``request`` (hand-crafted capability request packets), and
+  ``shim`` (packets sent through the host's capability layer — the
+  authorized floods of Sections 5.3/5.4, where a colluder or an imprecise
+  destination grants the attacker capabilities).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.header import RequestHeader
+from ..sim.engine import Simulator
+from ..sim.node import Host
+from ..sim.packet import Packet
+from ..sim.trace import TransferLog
+from .tcp import TcpParams, TcpSender
+
+
+class RepeatingTransferClient:
+    """A legitimate user performing fixed-size transfers in a closed loop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        dst: int,
+        dst_port: int,
+        nbytes: int = 20_000,
+        log: Optional[TransferLog] = None,
+        start_at: float = 0.0,
+        stop_at: Optional[float] = None,
+        max_transfers: Optional[int] = None,
+        tcp_params: Optional[TcpParams] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.dst = dst
+        self.dst_port = dst_port
+        self.nbytes = nbytes
+        self.log = log if log is not None else TransferLog()
+        self.stop_at = stop_at
+        self.max_transfers = max_transfers
+        self.tcp_params = tcp_params or TcpParams()
+        self.transfers_started = 0
+        self.completed = 0
+        self.failed = 0
+        self._record = None
+        sim.at(start_at, self._begin)
+
+    # ------------------------------------------------------------------
+    def _begin(self) -> None:
+        if self.stop_at is not None and self.sim.now >= self.stop_at:
+            return
+        if self.max_transfers is not None and self.transfers_started >= self.max_transfers:
+            return
+        self.transfers_started += 1
+        self._record = self.log.open(
+            self.host.address, self.dst, self.nbytes, self.sim.now
+        )
+        sender = TcpSender(
+            self.sim,
+            self.host,
+            self.dst,
+            self.dst_port,
+            self.nbytes,
+            params=self.tcp_params,
+            on_complete=self._on_complete,
+            on_fail=self._on_fail,
+        )
+        sender.start()
+
+    def _on_complete(self, now: float) -> None:
+        self._record.end = now
+        self.completed += 1
+        self._begin()
+
+    def _on_fail(self, now: float, reason: str) -> None:
+        self._record.aborted = True
+        self.failed += 1
+        self._begin()
+
+
+class PacketSink:
+    """A sink for a datagram protocol: counts what arrives.
+
+    Binding a sink at a flood's target models an open service port; without
+    one, flood packets are "unexpected" and the host shim reports the
+    sender to the policy immediately (Section 3.3), which short-circuits
+    experiments that need the attacker to be *authorized* first."""
+
+    def __init__(self, host: Host, proto: str = "cbr") -> None:
+        self.host = host
+        self.packets = 0
+        self.bytes = 0
+        host.bind(proto, 0, self._on_packet)
+
+    def _on_packet(self, pkt: Packet) -> None:
+        self.packets += 1
+        self.bytes += pkt.size
+
+
+class CbrFlood:
+    """A constant-bit-rate flood source.
+
+    ``mode``:
+
+    * ``"legacy"`` — plain packets with no capability shim, bypassing any
+      host shim (Section 5.1's legacy packet floods).
+    * ``"request"`` — each packet is a blank capability request
+      (Section 5.2's request packet floods).
+    * ``"shim"`` — packets go through the host's capability layer, which
+      requests/uses/renews capabilities like any sender; this produces
+      authorized floods when some destination is willing to grant
+      (Sections 5.3 and 5.4).  The flood first performs a handshake with
+      small probe packets (a request rides on something SYN-sized, as in
+      the paper) and blasts at full rate only once authorized; while
+      unauthorized it keeps probing at a low rate.
+    """
+
+    #: Size of the handshake probe (a SYN-sized packet carrying the
+    #: capability request) and the probe retry interval.
+    PROBE_SIZE = 60
+    PROBE_INTERVAL = 0.3
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        dst: int,
+        rate_bps: float = 1e6,
+        pkt_size: int = 1500,
+        mode: str = "legacy",
+        start_at: float = 0.0,
+        stop_at: Optional[float] = None,
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if mode not in ("legacy", "request", "shim"):
+            raise ValueError(f"unknown flood mode {mode!r}")
+        if rate_bps <= 0:
+            raise ValueError("flood rate must be positive")
+        self.sim = sim
+        self.host = host
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.pkt_size = pkt_size
+        self.mode = mode
+        self.stop_at = stop_at
+        self.jitter = jitter
+        self.rng = rng or random.Random(host.address)
+        self.packets_sent = 0
+        self.probes_sent = 0
+        self.interval = pkt_size * 8.0 / rate_bps
+        self._last_probe = -1e9
+        sim.at(start_at, self._tick)
+
+    def _tick(self) -> None:
+        if self.stop_at is not None and self.sim.now >= self.stop_at:
+            return
+        if self.mode == "shim" and not self._authorized():
+            # Handshake phase: request with a small probe, retry until the
+            # destination (or colluder) grants.
+            if self.sim.now - self._last_probe >= self.PROBE_INTERVAL:
+                self._last_probe = self.sim.now
+                self.probes_sent += 1
+                self.host.send(self._packet(self.PROBE_SIZE))
+            self.sim.after(self.PROBE_INTERVAL / 3.0, self._tick)
+            return
+        self._emit()
+        delay = self.interval
+        if self.jitter:
+            delay *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+        self.sim.after(delay, self._tick)
+
+    def _authorized(self) -> bool:
+        shim = self.host.shim
+        return shim is None or shim.authorized(self.dst)
+
+    def _packet(self, size: int, shim=None) -> Packet:
+        return Packet(
+            src=self.host.address,
+            dst=self.dst,
+            size=size,
+            proto="cbr",
+            shim=shim,
+            created=self.sim.now,
+        )
+
+    def _emit(self) -> None:
+        self.packets_sent += 1
+        if self.mode == "shim":
+            self.host.send(self._packet(self.pkt_size))
+            return
+        shim = RequestHeader() if self.mode == "request" else None
+        self.host.send_raw(self._packet(self.pkt_size, shim))

@@ -1,0 +1,113 @@
+"""Tests for the paper's closed-form models (Sections 3.2, 3.6, 5.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    capability_byte_bound,
+    effective_throughput_bps,
+    fair_queue_dilution,
+    flood_loss_rate,
+    internet_completion_probability,
+    request_overhead_fraction,
+    siff_average_transfer_time,
+    siff_completion_probability,
+    state_bound_records,
+    state_memory_bytes,
+    transfer_ideal_time,
+)
+
+
+class TestSection51:
+    def test_loss_rate_formula(self):
+        # 100 attackers at 1 Mb/s across a 10 Mb/s bottleneck -> p = 0.9.
+        assert flood_loss_rate(100e6, 10e6) == pytest.approx(0.9)
+
+    def test_no_loss_below_capacity(self):
+        assert flood_loss_rate(5e6, 10e6) == 0.0
+
+    def test_siff_completion_at_100_attackers(self):
+        """The paper: p = 0.9 gives a completion rate of 1 - 0.9^9 = 0.61."""
+        assert siff_completion_probability(0.9) == pytest.approx(0.613, abs=0.01)
+
+    def test_siff_average_time_at_100_attackers(self):
+        """The paper quotes 4.05 s at p = 0.9; its printed formula
+        Tavg = sum_i i p^(i-1) (1-p) / (1 - p^9) actually evaluates to
+        4.31 s.  We implement the formula as printed and accept the small
+        discrepancy the paper itself calls "consistent with our results"."""
+        assert siff_average_transfer_time(0.9) == pytest.approx(4.31, abs=0.02)
+
+    def test_siff_no_loss_degenerates(self):
+        assert siff_completion_probability(0.0) == 1.0
+
+    def test_internet_completion_collapses_with_loss(self):
+        # (1 - p^k)^n decays as p rises.
+        assert internet_completion_probability(0.5) > 0.9
+        assert internet_completion_probability(0.9) < 0.1
+
+    def test_internet_completion_decays_with_file_size(self):
+        p = 0.8
+        small = internet_completion_probability(p, n_packets=5)
+        large = internet_completion_probability(p, n_packets=100)
+        assert large < small
+
+    def test_probability_bounds_validated(self):
+        with pytest.raises(ValueError):
+            siff_completion_probability(1.5)
+        with pytest.raises(ValueError):
+            internet_completion_probability(-0.1)
+
+    @given(st.floats(0.0, 0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_siff_beats_internet_property(self, p):
+        """SIFF only risks the request; the Internet risks every packet, so
+        SIFF's completion probability always dominates."""
+        assert siff_completion_probability(p) >= internet_completion_probability(p) - 1e-12
+
+
+class TestSection36:
+    def test_gigabit_state_bound(self):
+        assert state_bound_records(1e9) == 312_500
+
+    def test_memory_fits_32mb_line_card(self):
+        assert state_memory_bytes(1e9) <= 32 * 1024 * 1024
+
+    def test_capability_byte_bound_is_2n(self):
+        assert capability_byte_bound(32 * 1024) == 64 * 1024
+        with pytest.raises(ValueError):
+            capability_byte_bound(-1)
+
+
+class TestSection32:
+    def test_request_overhead_example(self):
+        """250 bytes of request for a 10 KB flow = 2.5%."""
+        assert request_overhead_fraction() == pytest.approx(0.025)
+
+    def test_overhead_below_the_5_percent_channel(self):
+        assert request_overhead_fraction() < 0.05
+
+
+class TestSection2:
+    def test_fair_queue_dilution(self):
+        assert fair_queue_dilution(30) == pytest.approx(1 / 30)
+        # "30 well-placed hosts could cut a gigabit link to only a megabit
+        # or so": 1/30^2 of 1 Gb/s ~ 1.1 Mb/s.
+        assert 1e9 * fair_queue_dilution(30, pairwise=True) == pytest.approx(1.1e6, rel=0.1)
+
+    def test_dilution_requires_attackers(self):
+        with pytest.raises(ValueError):
+            fair_queue_dilution(0)
+
+
+class TestTransferModel:
+    def test_ideal_20kb_transfer_time(self):
+        """Handshake + slow-start rounds over a 60 ms RTT ~ 0.3 s."""
+        assert transfer_ideal_time() == pytest.approx(0.30, abs=0.03)
+
+    def test_effective_throughput_533kbps(self):
+        assert effective_throughput_bps(20_000, 0.3) == pytest.approx(533e3, rel=0.01)
+
+    def test_throughput_requires_positive_time(self):
+        with pytest.raises(ValueError):
+            effective_throughput_bps(20_000, 0.0)

@@ -1,0 +1,89 @@
+"""Unit tests for the bit-level serialization helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bits import BitReader, BitWriter
+
+
+def test_simple_roundtrip():
+    writer = BitWriter()
+    writer.write(0b1010, 4).write(0b0101, 4)
+    data = writer.getvalue()
+    assert data == bytes([0b10100101])
+    reader = BitReader(data)
+    assert reader.read(4) == 0b1010
+    assert reader.read(4) == 0b0101
+    reader.expect_exhausted()
+
+
+def test_cross_byte_fields():
+    writer = BitWriter()
+    writer.write(0x3FF, 10).write(0x3F, 6)
+    data = writer.getvalue()
+    assert len(data) == 2
+    reader = BitReader(data)
+    assert reader.read(10) == 0x3FF
+    assert reader.read(6) == 0x3F
+
+
+def test_writer_rejects_overflow_value():
+    with pytest.raises(ValueError):
+        BitWriter().write(4, 2)
+    with pytest.raises(ValueError):
+        BitWriter().write(-1, 8)
+
+
+def test_writer_rejects_partial_bytes():
+    writer = BitWriter()
+    writer.write(1, 3)
+    with pytest.raises(ValueError):
+        writer.getvalue()
+
+
+def test_reader_rejects_overread():
+    reader = BitReader(b"\x00")
+    reader.read(8)
+    with pytest.raises(ValueError):
+        reader.read(1)
+
+
+def test_reader_expect_exhausted_raises_on_leftover():
+    reader = BitReader(b"\x00\x00")
+    reader.read(8)
+    with pytest.raises(ValueError):
+        reader.expect_exhausted()
+
+
+def test_zero_width_rejected():
+    with pytest.raises(ValueError):
+        BitWriter().write(0, 0)
+    with pytest.raises(ValueError):
+        BitReader(b"\x00").read(0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 64), st.data()),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_property(specs):
+    """Any sequence of (width, value) fields round-trips, after padding."""
+    fields = []
+    writer = BitWriter()
+    total = 0
+    for width, data in specs:
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        writer.write(value, width)
+        fields.append((width, value))
+        total += width
+    pad = (8 - total % 8) % 8
+    if pad:
+        writer.write(0, pad)
+    reader = BitReader(writer.getvalue())
+    for width, value in fields:
+        assert reader.read(width) == value

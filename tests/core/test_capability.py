@@ -1,0 +1,135 @@
+"""Unit and property tests for pre-capabilities and capabilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Capability,
+    PreCapability,
+    SecretManager,
+    capability_from_precapability,
+    mint_precapability,
+    quantize_grant,
+    validate_capability,
+)
+from repro.core.params import N_UNIT_BYTES
+
+
+@pytest.fixture
+def secrets():
+    return SecretManager(b"router-1")
+
+
+def make_cap(secrets, src=1, dst=2, n=32 * 1024, t=10, now=100.0):
+    pre = mint_precapability(secrets, src, dst, now)
+    return capability_from_precapability(pre, n, t)
+
+
+class TestFormats:
+    def test_precapability_wire_value_is_64_bits(self, secrets):
+        pre = mint_precapability(secrets, 1, 2, 100.0)
+        assert 0 <= pre.as_int() < (1 << 64)
+        assert pre.as_int() >> 56 == pre.timestamp
+
+    def test_precapability_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            PreCapability(timestamp=256, hash56=0)
+        with pytest.raises(ValueError):
+            PreCapability(timestamp=0, hash56=1 << 56)
+
+    def test_capability_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            Capability(timestamp=-1, hash56=0)
+
+    def test_quantize_grant_rounds_to_wire_units(self):
+        n, t = quantize_grant(100_000, 10.7)
+        assert n % N_UNIT_BYTES == 0
+        assert n <= 100_000
+        assert t == 10
+
+    def test_quantize_grant_clamps_to_field_limits(self):
+        n, t = quantize_grant(10**9, 10**9)
+        assert n == 1023 * N_UNIT_BYTES
+        assert t == 63
+        n, t = quantize_grant(1, 0.5)
+        assert n == N_UNIT_BYTES
+        assert t == 1
+
+
+class TestValidation:
+    def test_valid_capability_accepted(self, secrets):
+        cap = make_cap(secrets)
+        assert validate_capability(secrets, 1, 2, cap, 32 * 1024, 10, 100.5)
+
+    def test_different_router_secret_rejects(self, secrets):
+        cap = make_cap(secrets)
+        other = SecretManager(b"router-2")
+        assert not validate_capability(other, 1, 2, cap, 32 * 1024, 10, 100.5)
+
+    def test_wrong_endpoints_reject(self, secrets):
+        cap = make_cap(secrets, src=1, dst=2)
+        assert not validate_capability(secrets, 3, 2, cap, 32 * 1024, 10, 100.5)
+        assert not validate_capability(secrets, 1, 3, cap, 32 * 1024, 10, 100.5)
+
+    def test_wrong_grant_parameters_reject(self, secrets):
+        """The destination binds N and T into the hash; a sender cannot
+        claim a bigger budget than it was granted."""
+        cap = make_cap(secrets, n=32 * 1024, t=10)
+        assert not validate_capability(secrets, 1, 2, cap, 64 * 1024, 10, 100.5)
+        assert not validate_capability(secrets, 1, 2, cap, 32 * 1024, 20, 100.5)
+
+    def test_expiry_after_t_seconds(self, secrets):
+        cap = make_cap(secrets, t=10, now=100.0)
+        assert validate_capability(secrets, 1, 2, cap, 32 * 1024, 10, 109.9)
+        assert not validate_capability(secrets, 1, 2, cap, 32 * 1024, 10, 111.0)
+
+    def test_forged_hash_rejected(self, secrets):
+        cap = make_cap(secrets)
+        forged = Capability(cap.timestamp, cap.hash56 ^ 1)
+        assert not validate_capability(secrets, 1, 2, forged, 32 * 1024, 10, 100.5)
+
+    def test_survives_one_secret_rotation(self):
+        """A capability minted just before a rotation stays valid: the
+        timestamp selects the previous secret (Section 3.4's trick)."""
+        secrets = SecretManager(b"r", period=128.0)
+        cap = make_cap(secrets, t=10, now=127.0)
+        assert validate_capability(secrets, 1, 2, cap, 32 * 1024, 10, 130.0)
+
+    def test_replay_after_clock_wrap_rejected(self):
+        """A very old capability whose 8-bit timestamp aliases a fresh one
+        fails because the secret rotated (Section 3.4)."""
+        secrets = SecretManager(b"r", period=128.0)
+        cap = make_cap(secrets, t=10, now=100.0)
+        # 256 seconds later the modulo clock reads the same, but two
+        # rotations have passed.
+        assert not validate_capability(secrets, 1, 2, cap, 32 * 1024, 10, 356.0)
+
+    @given(
+        src=st.integers(0, 2**32 - 1),
+        dst=st.integers(0, 2**32 - 1),
+        n_kb=st.integers(1, 1023),
+        t=st.integers(1, 63),
+        mint_time=st.floats(0, 1000, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, src, dst, n_kb, t, mint_time):
+        """mint -> convert -> validate always succeeds within T."""
+        secrets = SecretManager(b"prop")
+        n = n_kb * N_UNIT_BYTES
+        pre = mint_precapability(secrets, src, dst, mint_time)
+        cap = capability_from_precapability(pre, n, t)
+        assert validate_capability(secrets, src, dst, cap, n, t, mint_time + t / 2.0)
+
+    @given(
+        src=st.integers(0, 2**32 - 1),
+        flip=st.integers(0, 55),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_any_bitflip_invalidates_property(self, src, flip):
+        """Flipping any hash bit always invalidates the capability."""
+        secrets = SecretManager(b"prop")
+        pre = mint_precapability(secrets, src, 2, 50.0)
+        cap = capability_from_precapability(pre, 32 * 1024, 10)
+        forged = Capability(cap.timestamp, cap.hash56 ^ (1 << flip))
+        assert not validate_capability(secrets, src, 2, forged, 32 * 1024, 10, 50.5)

@@ -1,0 +1,126 @@
+"""Unit and property tests for router secrets and keyed hashes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SecretManager, keyed_hash56
+from repro.core.params import SECRET_PERIOD, TIMESTAMP_MODULO
+
+
+def test_keyed_hash_is_56_bits():
+    value = keyed_hash56(b"key", 1, 2, 3)
+    assert 0 <= value < (1 << 56)
+
+
+def test_keyed_hash_deterministic():
+    assert keyed_hash56(b"key", 1, 2) == keyed_hash56(b"key", 1, 2)
+
+
+def test_keyed_hash_depends_on_key_and_fields():
+    base = keyed_hash56(b"key", 1, 2)
+    assert keyed_hash56(b"other", 1, 2) != base
+    assert keyed_hash56(b"key", 1, 3) != base
+    assert keyed_hash56(b"key", 2, 1) != base
+
+
+@given(st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_keyed_hash_range_property(fields):
+    assert 0 <= keyed_hash56(b"k", *fields) < (1 << 56)
+
+
+class TestSecretManager:
+    def test_epoch_boundaries(self):
+        mgr = SecretManager(b"seed", period=128.0)
+        assert mgr.epoch(0.0) == 0
+        assert mgr.epoch(127.999) == 0
+        assert mgr.epoch(128.0) == 1
+
+    def test_secret_changes_per_epoch(self):
+        mgr = SecretManager(b"seed")
+        assert mgr.secret_for_epoch(0) != mgr.secret_for_epoch(1)
+
+    def test_secret_deterministic_per_seed(self):
+        a = SecretManager(b"seed")
+        b = SecretManager(b"seed")
+        assert a.secret_for_epoch(5) == b.secret_for_epoch(5)
+        c = SecretManager(b"other")
+        assert c.secret_for_epoch(5) != a.secret_for_epoch(5)
+
+    def test_timestamp_is_modulo_256_seconds(self):
+        mgr = SecretManager(b"seed")
+        assert mgr.timestamp(0.0) == 0
+        assert mgr.timestamp(255.9) == 255
+        assert mgr.timestamp(256.0) == 0
+        assert mgr.timestamp(300.5) == 44
+
+    def test_current_secret_validates_fresh_timestamp(self):
+        mgr = SecretManager(b"seed")
+        now = 50.0
+        ts = mgr.timestamp(now)
+        assert mgr.secret_for_timestamp(ts, now) == mgr.current_secret(now)
+
+    def test_previous_epoch_secret_resolved(self):
+        mgr = SecretManager(b"seed", period=128.0)
+        # Minted at t=120 (epoch 0), validated at t=130 (epoch 1).
+        ts = mgr.timestamp(120.0)
+        secret = mgr.secret_for_timestamp(ts, 130.0)
+        assert secret == mgr.secret_for_epoch(0)
+
+    def test_too_old_timestamp_rejected(self):
+        mgr = SecretManager(b"seed", period=128.0)
+        # Minted at t=10 (epoch 0), validated at t=266 where the modulo
+        # clock has wrapped: age reads as 0, epoch inference lands in
+        # epoch 2 and the hash will not match epoch 0's; but a timestamp
+        # two full epochs old must resolve to a *different* secret.
+        ts = mgr.timestamp(10.0)
+        late = mgr.secret_for_timestamp(ts, 10.0 + 300.0)
+        assert late != mgr.secret_for_epoch(0)
+
+    def test_validation_refuses_older_than_previous(self):
+        mgr = SecretManager(b"seed", period=128.0)
+        # ts minted at t=10; at t=300 the age under the modulo clock is
+        # (300-10) % 256 = 34 -> issue time 266, epoch 2 == current epoch,
+        # so a secret IS returned (epoch 2's); replay protection comes from
+        # the hash mismatch, mirrored here by secret difference.
+        ts = mgr.timestamp(10.0)
+        resolved = mgr.secret_for_timestamp(ts, 300.0)
+        assert resolved != mgr.secret_for_epoch(0)
+
+    def test_rejects_out_of_range_timestamp(self):
+        mgr = SecretManager(b"seed")
+        assert mgr.secret_for_timestamp(-1, 100.0) is None
+        assert mgr.secret_for_timestamp(TIMESTAMP_MODULO, 100.0) is None
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            SecretManager(b"", period=128.0)
+        with pytest.raises(ValueError):
+            SecretManager(b"seed", period=0)
+
+    def test_default_period_is_papers_128s(self):
+        assert SECRET_PERIOD == 128.0
+        mgr = SecretManager(b"seed")
+        assert mgr.period == 128.0
+
+    @given(st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_fresh_mint_always_validates_property(self, now):
+        """A timestamp minted 'now' always resolves to the current secret."""
+        mgr = SecretManager(b"seed")
+        ts = mgr.timestamp(now)
+        assert mgr.secret_for_timestamp(ts, now) == mgr.current_secret(now)
+
+    @given(
+        st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=63.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mint_validates_within_t_max_property(self, mint_time, age):
+        """Any capability-age up to T_max (63 s) resolves to the minting
+        epoch's secret — the guarantee expiry checking relies on."""
+        mgr = SecretManager(b"seed")
+        ts = mgr.timestamp(mint_time)
+        resolved = mgr.secret_for_timestamp(ts, mint_time + age)
+        assert resolved == mgr.secret_for_epoch(mgr.epoch(mint_time))

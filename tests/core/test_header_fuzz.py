@@ -1,0 +1,46 @@
+"""Fuzzing the wire-format decoder: garbage in must never crash, only
+raise ``ValueError`` (routers then treat the packet as legacy traffic)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RegularHeader, RequestHeader, unpack_header
+
+
+@given(st.binary(min_size=0, max_size=64))
+@settings(max_examples=300, deadline=None)
+def test_arbitrary_bytes_never_crash(data):
+    try:
+        header = unpack_header(data)
+    except ValueError:
+        return
+    # If it decoded, it must re-encode to the same bytes (canonical form).
+    assert header.pack() == data
+
+
+@given(st.binary(min_size=2, max_size=64), st.integers(0, 511))
+@settings(max_examples=300, deadline=None)
+def test_bitflips_of_valid_headers_never_crash(data, flip):
+    base = RegularHeader(flow_nonce=123456, capabilities=[]).pack()
+    mutated = bytearray(base + data[: max(0, 8 - len(base))])
+    mutated[(flip // 8) % len(mutated)] ^= 1 << (flip % 8)
+    try:
+        unpack_header(bytes(mutated))
+    except ValueError:
+        pass
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+@settings(max_examples=200, deadline=None)
+def test_truncations_never_crash(npids, ncaps):
+    """Headers whose counts promise more payload than is present must be
+    rejected cleanly."""
+    full = RequestHeader(path_ids=[1, 2], precapabilities=[]).pack()
+    # Forge the count bytes to lie about the payload.
+    forged = bytearray(full)
+    forged[2] = ncaps
+    forged[3] = npids
+    try:
+        unpack_header(bytes(forged))
+    except ValueError:
+        pass

@@ -1,0 +1,31 @@
+"""Tests for path identifiers (Section 3.2)."""
+
+from repro.core import interface_tag, most_recent_tag
+
+
+def test_tag_is_16_bits():
+    tag = interface_tag("R1", "eth0")
+    assert 0 <= tag < (1 << 16)
+
+
+def test_tag_deterministic():
+    assert interface_tag("R1", "eth0") == interface_tag("R1", "eth0")
+
+
+def test_tag_varies_with_interface_and_router():
+    base = interface_tag("R1", "eth0")
+    assert interface_tag("R1", "eth1") != base
+    assert interface_tag("R2", "eth0") != base
+
+
+def test_tags_mostly_unique_across_many_interfaces():
+    """Pseudo-random tags are 'likely to be unique across the trust
+    boundary'; with 200 interfaces into 2^16 values, collisions are rare."""
+    tags = {interface_tag("R1", f"eth{i}") for i in range(200)}
+    assert len(tags) >= 198
+
+
+def test_most_recent_tag():
+    assert most_recent_tag([]) is None
+    assert most_recent_tag([5]) == 5
+    assert most_recent_tag([5, 9, 13]) == 13

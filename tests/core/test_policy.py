@@ -1,0 +1,154 @@
+"""Tests for destination authorization policies (Sections 3.3, 5.4)."""
+
+from repro.core import (
+    AlwaysGrant,
+    ClientPolicy,
+    FilteringPolicy,
+    OraclePolicy,
+    RefuseAll,
+    ServerPolicy,
+)
+from repro.core.params import N_UNIT_BYTES
+
+
+class TestServerPolicy:
+    def test_grants_by_default(self):
+        policy = ServerPolicy(default_grant=(64 * 1024, 10))
+        grant = policy.authorize(src=5, now=0.0)
+        assert grant == (64 * 1024, 10)
+
+    def test_grant_is_wire_quantized(self):
+        policy = ServerPolicy(default_grant=(100_000, 10.9))
+        n, t = policy.default_grant
+        assert n % N_UNIT_BYTES == 0
+        assert isinstance(t, int)
+
+    def test_blacklisted_sender_refused(self):
+        policy = ServerPolicy()
+        policy.report_misbehavior(5, 1.0)
+        assert policy.authorize(5, 2.0) is None
+        assert policy.authorize(6, 2.0) is not None
+
+    def test_blacklist_expires(self):
+        policy = ServerPolicy(blacklist_seconds=10.0)
+        policy.report_misbehavior(5, 0.0)
+        assert policy.authorize(5, 5.0) is None
+        assert policy.authorize(5, 20.0) is not None
+
+    def test_rate_detector_blacklists_flooders(self):
+        policy = ServerPolicy(flood_rate_bps=1e6, detector_window=1.0)
+        # ~1.6 Mb/s of observed traffic trips the 1 Mb/s detector.
+        for i in range(25):
+            policy.observe_bytes(7, 20_000, i * 0.1)
+        assert policy.is_blacklisted(7, 2.5)
+
+    def test_rate_detector_ignores_slow_senders(self):
+        policy = ServerPolicy(flood_rate_bps=1e6, detector_window=1.0)
+        for i in range(20):
+            policy.observe_bytes(7, 1_000, i * 0.1)  # ~80 kb/s
+        assert not policy.is_blacklisted(7, 2.0)
+
+    def test_detector_disabled_by_default(self):
+        policy = ServerPolicy()
+        policy.observe_bytes(7, 10**9, 0.0)
+        assert not policy.is_blacklisted(7, 0.1)
+
+
+class TestClientPolicy:
+    def test_refuses_unsolicited(self):
+        policy = ClientPolicy()
+        assert policy.authorize(9, 0.0) is None
+        assert policy.refused == 1
+
+    def test_grants_contacted_peer(self):
+        policy = ClientPolicy()
+        policy.note_outgoing_request(9, 0.0)
+        assert policy.authorize(9, 0.1) is not None
+
+    def test_expectation_expires(self):
+        policy = ClientPolicy(expected_window=5.0)
+        policy.note_outgoing_request(9, 0.0)
+        assert policy.authorize(9, 10.0) is None
+
+
+class TestOraclePolicy:
+    def test_suspect_granted_once(self):
+        policy = OraclePolicy({5})
+        assert policy.authorize(5, 0.0) is not None
+        assert policy.authorize(5, 1.0) is None
+
+    def test_suspect_renewal_always_refused(self):
+        policy = OraclePolicy({5})
+        assert policy.authorize(5, 0.0, renewal=True) is None
+
+    def test_legit_always_granted_and_renewed(self):
+        policy = OraclePolicy({5})
+        for i in range(5):
+            assert policy.authorize(3, float(i)) is not None
+            assert policy.authorize(3, float(i), renewal=True) is not None
+
+    def test_default_grant_is_32kb_10s(self):
+        """The Figure 11 experiment grant: 32 KB in 10 seconds."""
+        policy = OraclePolicy(set())
+        assert policy.default_grant == (32 * 1024, 10)
+
+
+class TestOtherPolicies:
+    def test_always_grant(self):
+        policy = AlwaysGrant()
+        for src in range(10):
+            assert policy.authorize(src, 0.0) is not None
+        policy.report_misbehavior(1, 0.0)  # no-op
+        assert policy.authorize(1, 1.0) is not None
+
+    def test_refuse_all(self):
+        assert RefuseAll().authorize(1, 0.0) is None
+
+    def test_filtering_policy_blocks_suspects_only(self):
+        inner = ServerPolicy()
+        policy = FilteringPolicy(inner, suspects={4, 5})
+        assert policy.authorize(4, 0.0) is None
+        assert policy.authorize(6, 0.0) is not None
+
+    def test_filtering_policy_delegates_reports(self):
+        inner = ServerPolicy()
+        policy = FilteringPolicy(inner, suspects=set())
+        policy.report_misbehavior(8, 0.0)
+        assert inner.is_blacklisted(8, 0.1)
+
+
+class TestReturningCustomerPolicy:
+    def make(self):
+        from repro.core import ReturningCustomerPolicy
+
+        return ReturningCustomerPolicy(
+            probation_grant=(16 * 1024, 10),
+            trusted_grant=(512 * 1024, 10),
+            promotion_grants=3,
+        )
+
+    def test_new_sender_gets_probation_budget(self):
+        policy = self.make()
+        assert policy.authorize(5, 0.0) == (16 * 1024, 10)
+
+    def test_returning_sender_is_promoted(self):
+        policy = self.make()
+        for i in range(3):
+            assert policy.authorize(5, float(i)) == (16 * 1024, 10)
+        assert policy.authorize(5, 4.0) == (512 * 1024, 10)
+        assert policy.is_trusted(5)
+
+    def test_misbehavior_resets_reputation_and_blacklists(self):
+        policy = self.make()
+        for i in range(5):
+            policy.authorize(5, float(i))
+        assert policy.is_trusted(5)
+        policy.report_misbehavior(5, 6.0)
+        assert not policy.is_trusted(5)
+        assert policy.authorize(5, 7.0) is None
+
+    def test_reputations_are_per_sender(self):
+        policy = self.make()
+        for i in range(5):
+            policy.authorize(5, float(i))
+        assert policy.authorize(6, 9.0) == (16 * 1024, 10)

@@ -1,0 +1,97 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import _parse_schemes, _parse_sweep, _sparkline, build_parser, main
+
+
+class TestParsing:
+    def test_parse_schemes(self):
+        assert _parse_schemes("tva,siff") == ["tva", "siff"]
+
+    def test_parse_schemes_rejects_unknown(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_schemes("tva,bogus")
+
+    def test_parse_sweep(self):
+        assert _parse_sweep("1,10,100") == [1, 10, 100]
+
+    def test_parser_builds_all_commands(self):
+        parser = build_parser()
+        for cmd in ("fig8", "fig9", "fig10", "fig11", "table1", "fig12",
+                    "scenario"):
+            args = parser.parse_args([cmd])
+            assert callable(args.fn)
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSparkline:
+    def test_quiet_series_is_blank_ish(self):
+        line = _sparkline([(t, 0.05) for t in range(0, 30)], 30.0)
+        assert set(line) <= {" ", "."}
+
+    def test_spike_shows_up(self):
+        series = [(float(t), 0.3) for t in range(30)]
+        series.append((15.0, 8.0))
+        line = _sparkline(series, 30.0)
+        assert "@" in line
+
+    def test_length_is_bucket_count(self):
+        assert len(_sparkline([], 10.0, buckets=42)) == 42
+
+
+class TestEndToEnd:
+    def test_scenario_command_runs(self, capsys):
+        rc = main(["scenario", "--scheme", "tva", "--attack", "legacy",
+                   "--attackers", "2", "--duration", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "completion fraction" in out
+
+    def test_fig8_single_point(self, capsys):
+        rc = main(["fig8", "--schemes", "internet", "--sweep", "1",
+                   "--duration", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "internet" in out
+
+    def test_fig9_single_point(self, capsys):
+        rc = main(["fig9", "--schemes", "tva", "--sweep", "2",
+                   "--duration", "4"])
+        assert rc == 0
+        assert "Figure 9" in capsys.readouterr().out
+
+    def test_fig11_runs_small(self, capsys):
+        rc = main(["fig11", "--scheme", "tva", "--duration", "14"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "completion gaps" in out
+        assert "sketch" in out
+
+    def test_table1_runs_small(self, capsys):
+        rc = main(["table1", "--packets", "600"])
+        assert rc == 0
+        assert "Regular with a cached entry" in capsys.readouterr().out
+
+    def test_fig12_runs_small(self, capsys):
+        rc = main(["fig12", "--packets", "600"])
+        assert rc == 0
+        assert "Figure 12" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        rc = main(["report", "--schemes", "tva", "--sweep", "2",
+                   "--duration", "4", "--fig11-duration", "14",
+                   "--packets", "600", "--output", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "# TVA reproduction report" in text
+        assert "Figure 8" in text and "Table 1" in text

@@ -1,0 +1,55 @@
+"""Smoke tests of the public figure-runner API at tiny scale.
+
+The benchmarks exercise these at experiment scale; here we pin the API
+shape (types, fields, row counts) with seconds-long runs.
+"""
+
+import pytest
+
+from repro.eval import (
+    ExperimentConfig,
+    FloodResult,
+    format_flood_table,
+    run_fig8_legacy_flood,
+    run_fig9_request_flood,
+    run_fig10_colluder_flood,
+    run_fig11_imprecise,
+)
+
+TINY = ExperimentConfig(duration=4.0)
+
+
+class TestFigureRunners:
+    def test_fig8_runner_rows(self):
+        results = run_fig8_legacy_flood(schemes=("tva",), sweep=(1, 2),
+                                        config=TINY)
+        assert len(results) == 2
+        assert all(isinstance(r, FloodResult) for r in results)
+        assert all(r.attack == "legacy" for r in results)
+        assert {r.n_attackers for r in results} == {1, 2}
+
+    def test_fig9_runner_rows(self):
+        results = run_fig9_request_flood(schemes=("internet",), sweep=(1,),
+                                         config=TINY)
+        assert len(results) == 1
+        assert results[0].attack == "request"
+        assert results[0].transfers_attempted > 0
+
+    def test_fig10_runner_rows(self):
+        results = run_fig10_colluder_flood(schemes=("internet",), sweep=(1,),
+                                           config=TINY)
+        assert results[0].attack == "colluder"
+        assert 0.0 <= results[0].fraction_completed <= 1.0
+
+    def test_fig11_runner_result(self):
+        result = run_fig11_imprecise("tva", "all_at_once", n_attackers=5,
+                                     attack_start=2.0, duration=8.0)
+        assert result.scheme == "tva"
+        assert result.attack_start == 2.0
+        assert result.series  # transfers completed
+
+    def test_table_formatting(self):
+        results = run_fig8_legacy_flood(schemes=("tva",), sweep=(1,),
+                                        config=TINY)
+        table = format_flood_table(results, "t")
+        assert "tva" in table

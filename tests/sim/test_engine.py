@@ -1,0 +1,164 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_runs_events_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.at(2.0, seen.append, "b")
+    sim.at(1.0, seen.append, "a")
+    sim.at(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_equal_timestamps_fire_in_fifo_order():
+    sim = Simulator()
+    seen = []
+    for tag in range(10):
+        sim.at(1.0, seen.append, tag)
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.at(0.5, lambda: times.append(sim.now))
+    sim.at(1.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [0.5, 1.25]
+
+
+def test_after_schedules_relative_to_now():
+    sim = Simulator()
+    times = []
+
+    def chain():
+        times.append(sim.now)
+        if len(times) < 3:
+            sim.after(0.1, chain)
+
+    sim.after(0.1, chain)
+    sim.run()
+    assert times == pytest.approx([0.1, 0.2, 0.3])
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.at(1.0, seen.append, 1)
+    sim.at(5.0, seen.append, 5)
+    processed = sim.run(until=2.0)
+    assert processed == 1
+    assert seen == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert seen == [1, 5]
+
+
+def test_run_until_with_empty_heap_advances_clock():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    event = sim.at(1.0, seen.append, "x")
+    sim.cancel(event)
+    sim.run()
+    assert seen == []
+
+
+def test_cancel_none_and_double_cancel_are_noops():
+    sim = Simulator()
+    sim.cancel(None)
+    event = sim.at(1.0, lambda: None)
+    sim.cancel(event)
+    sim.cancel(event)
+    assert sim.run() == 0
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-0.1, lambda: None)
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+    sim.at(1.0, seen.append, 1)
+    sim.at(2.0, sim.stop)
+    sim.at(3.0, seen.append, 3)
+    sim.run()
+    assert seen == [1]
+    # The remaining event is still pending and can run later.
+    sim.run()
+    assert seen == [1, 3]
+
+
+def test_max_events_bounds_processing():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.at(float(i + 1), seen.append, i)
+    processed = sim.run(max_events=2)
+    assert processed == 2
+    assert seen == [0, 1]
+
+
+def test_pending_counts_only_live_events():
+    sim = Simulator()
+    keep = sim.at(1.0, lambda: None)
+    drop = sim.at(2.0, lambda: None)
+    sim.cancel(drop)
+    assert sim.pending == 1
+    assert keep is not None
+
+
+def test_events_processed_accumulates():
+    sim = Simulator()
+    for i in range(3):
+        sim.at(float(i), lambda: None)
+    sim.run()
+    sim.at(10.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_event_scheduled_at_current_time_during_run_fires():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.at(sim.now, seen.append, "second")
+        seen.append("first")
+
+    sim.at(1.0, first)
+    sim.run()
+    assert seen == ["first", "second"]
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def recurse():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.at(1.0, recurse)
+    sim.run()

@@ -1,0 +1,69 @@
+"""Property-based tests of the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+                min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.at(t, lambda t=t: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=2, max_size=60),
+       st.data())
+@settings(max_examples=100, deadline=None)
+def test_cancelled_subset_never_fires(times, data):
+    sim = Simulator()
+    fired = []
+    events = [sim.at(t, lambda i=i: fired.append(i)) for i, t in enumerate(times)]
+    doomed = data.draw(st.sets(st.integers(0, len(times) - 1)))
+    for i in doomed:
+        sim.cancel(events[i])
+    sim.run()
+    assert set(fired) == set(range(len(times))) - doomed
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                min_size=1, max_size=50),
+       st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_run_until_is_a_clean_cut(times, cut):
+    """Splitting a run at an arbitrary time never loses or reorders events."""
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.at(t, lambda t=t: fired.append(t))
+    sim.run(until=cut)
+    early = list(fired)
+    assert all(t <= cut for t in early)
+    sim.run()
+    assert sorted(fired) == sorted(times)
+    assert fired == early + fired[len(early):]
+
+
+@given(st.integers(1, 200))
+@settings(max_examples=30, deadline=None)
+def test_self_rescheduling_chain_counts_exactly(n):
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < n:
+            sim.after(0.5, tick)
+
+    sim.after(0.0, tick)
+    sim.run()
+    assert count[0] == n
+    assert sim.now == (n - 1) * 0.5

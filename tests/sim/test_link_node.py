@@ -1,0 +1,178 @@
+"""Tests for links, nodes, and forwarding."""
+
+import pytest
+
+from repro.sim import (
+    DropTailQueue,
+    Host,
+    Link,
+    Node,
+    Packet,
+    Router,
+    RouterProcessor,
+    Simulator,
+    build_static_routes,
+)
+
+
+def duplex(sim, a, b, bw=10e6, delay=0.01):
+    ab = Link(sim, a, b, bw, delay, DropTailQueue(limit_bytes=100_000))
+    ba = Link(sim, b, a, bw, delay, DropTailQueue(limit_bytes=100_000))
+    a.add_link(ab)
+    b.add_link(ba)
+    return ab, ba
+
+
+class TestLink:
+    def test_serialization_plus_propagation_delay(self):
+        sim = Simulator()
+        a, b = Host(sim, "a", 1), Host(sim, "b", 2)
+        link, _ = duplex(sim, a, b, bw=8e6, delay=0.01)  # 1 MB/s
+        build_static_routes([a, b])
+        got = []
+        b.bind("raw", 0, lambda pkt: got.append(sim.now))
+        a.send(Packet(1, 2, size=1000, proto="raw"))
+        sim.run()
+        # 1000 B at 1 MB/s = 1 ms tx, + 10 ms propagation.
+        assert got == [pytest.approx(0.011)]
+
+    def test_back_to_back_packets_serialize(self):
+        sim = Simulator()
+        a, b = Host(sim, "a", 1), Host(sim, "b", 2)
+        duplex(sim, a, b, bw=8e6, delay=0.0)
+        build_static_routes([a, b])
+        got = []
+        b.bind("raw", 0, lambda pkt: got.append(sim.now))
+        for _ in range(3):
+            a.send(Packet(1, 2, size=1000, proto="raw"))
+        sim.run()
+        assert got == [pytest.approx(0.001), pytest.approx(0.002), pytest.approx(0.003)]
+
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        a, b = Host(sim, "a", 1), Host(sim, "b", 2)
+        link = Link(sim, a, b, 8e3, 0.0, DropTailQueue(limit_bytes=2000))
+        a.add_link(link)  # unidirectional; a.send uses the uplink default
+        sent = sum(a.send(Packet(1, 2, size=1000, proto="raw")) for _ in range(5))
+        assert link.drops > 0
+        assert sent < 5
+
+    def test_utilization(self):
+        sim = Simulator()
+        a, b = Host(sim, "a", 1), Host(sim, "b", 2)
+        link, _ = duplex(sim, a, b, bw=8e6, delay=0.0)
+        build_static_routes([a, b])
+        for _ in range(10):
+            a.send(Packet(1, 2, size=1000, proto="raw"))
+        sim.run(until=0.1)
+        assert link.utilization(0.1) == pytest.approx(0.1, rel=0.05)
+
+    def test_rejects_bad_parameters(self):
+        sim = Simulator()
+        a, b = Host(sim, "a", 1), Host(sim, "b", 2)
+        with pytest.raises(ValueError):
+            Link(sim, a, b, 0, 0.01, DropTailQueue())
+        with pytest.raises(ValueError):
+            Link(sim, a, b, 1e6, -1.0, DropTailQueue())
+
+
+class TestRouter:
+    def make_net(self, processor=None):
+        sim = Simulator()
+        a, b = Host(sim, "a", 1), Host(sim, "b", 2)
+        r = Router(sim, "R", processor)
+        duplex(sim, a, r)
+        duplex(sim, r, b)
+        build_static_routes([a, r, b])
+        return sim, a, r, b
+
+    def test_forwards_along_routes(self):
+        sim, a, r, b = self.make_net()
+        got = []
+        b.bind("raw", 0, got.append)
+        a.send(Packet(1, 2, size=100, proto="raw"))
+        sim.run()
+        assert len(got) == 1
+
+    def test_drops_unroutable(self):
+        sim, a, r, b = self.make_net()
+        a.send(Packet(1, 99, size=100, proto="raw"))
+        sim.run()
+        assert r.dropped_no_route == 1
+
+    def test_processor_can_drop(self):
+        class DropAll(RouterProcessor):
+            def process(self, pkt, router, in_link, out_link):
+                return False
+
+        sim, a, r, b = self.make_net(DropAll())
+        got = []
+        b.bind("raw", 0, got.append)
+        a.send(Packet(1, 2, size=100, proto="raw"))
+        sim.run()
+        assert got == []
+        assert r.dropped_by_processor == 1
+
+    def test_processor_can_mutate(self):
+        class Stamp(RouterProcessor):
+            def process(self, pkt, router, in_link, out_link):
+                pkt.demoted = True
+                return True
+
+        sim, a, r, b = self.make_net(Stamp())
+        got = []
+        b.bind("raw", 0, got.append)
+        a.send(Packet(1, 2, size=100, proto="raw"))
+        sim.run()
+        assert got[0].demoted
+
+
+class TestHost:
+    def test_demux_by_proto(self):
+        sim = Simulator()
+        a, b = Host(sim, "a", 1), Host(sim, "b", 2)
+        duplex(sim, a, b)
+        build_static_routes([a, b])
+        raw, cbr = [], []
+        b.bind("raw", 0, raw.append)
+        b.bind("cbr", 0, cbr.append)
+        a.send(Packet(1, 2, size=10, proto="raw"))
+        a.send(Packet(1, 2, size=10, proto="cbr"))
+        sim.run()
+        assert len(raw) == 1 and len(cbr) == 1
+
+    def test_wrong_address_not_delivered(self):
+        sim = Simulator()
+        a, b = Host(sim, "a", 1), Host(sim, "b", 2)
+        duplex(sim, a, b)
+        build_static_routes([a, b])
+        got = []
+        b.bind("raw", 0, got.append)
+        # Force a mis-addressed packet directly into b.
+        b.receive(Packet(1, 77, size=10, proto="raw"), None)
+        assert got == []
+        assert b.undeliverable == 1
+
+    def test_unbound_proto_counts_undeliverable(self):
+        sim = Simulator()
+        b = Host(sim, "b", 2)
+        b.receive(Packet(1, 2, size=10, proto="mystery"), None)
+        assert b.undeliverable == 1
+
+    def test_port_allocation_unique(self):
+        sim = Simulator()
+        a = Host(sim, "a", 1)
+        ports = {a.allocate_port() for _ in range(100)}
+        assert len(ports) == 100
+
+    def test_default_route_via_uplink(self):
+        """Hosts fall back to their first link when no explicit route."""
+        sim = Simulator()
+        a, b = Host(sim, "a", 1), Host(sim, "b", 2)
+        duplex(sim, a, b)
+        got = []
+        b.bind("raw", 0, got.append)
+        # No build_static_routes: a.routing is empty.
+        a.send(Packet(1, 2, size=10, proto="raw"))
+        sim.run()
+        assert len(got) == 1

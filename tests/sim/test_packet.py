@@ -1,0 +1,38 @@
+"""Unit tests for packets."""
+
+import pytest
+
+from repro.sim import Packet
+from repro.sim.packet import shim_overhead
+
+
+def test_packet_fields_and_flow():
+    pkt = Packet(src=1, dst=2, size=100, proto="tcp", created=1.5)
+    assert pkt.flow == (1, 2)
+    assert pkt.reply_addr() == (2, 1)
+    assert pkt.created == 1.5
+    assert not pkt.demoted
+
+
+def test_packet_uids_are_unique_and_increasing():
+    a = Packet(1, 2, 10)
+    b = Packet(1, 2, 10)
+    assert b.uid > a.uid
+
+
+def test_packet_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        Packet(1, 2, 0)
+    with pytest.raises(ValueError):
+        Packet(1, 2, -5)
+
+
+def test_shim_overhead():
+    assert shim_overhead(None) == 0
+    assert shim_overhead(object()) == 20
+
+
+def test_packet_repr_mentions_demotion():
+    pkt = Packet(1, 2, 10)
+    pkt.demoted = True
+    assert "demoted" in repr(pkt)

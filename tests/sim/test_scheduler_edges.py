@@ -1,0 +1,78 @@
+"""Edge cases of the priority scheduler and qdisc composition."""
+
+import pytest
+
+from repro.sim import (
+    DropTailQueue,
+    Packet,
+    PriorityScheduler,
+    TokenBucket,
+)
+
+
+def mkpkt(proto="x", size=100):
+    return Packet(1, 2, size, proto)
+
+
+def test_unclaimed_packet_is_dropped_and_counted():
+    sched = PriorityScheduler([(lambda p: p.proto == "a", DropTailQueue(), None)])
+    dropped = []
+    sched.drop_hook = dropped.append
+    pkt = mkpkt(proto="b")
+    assert not sched.enqueue(pkt)
+    assert sched.drops == 1
+    assert dropped == [pkt]
+
+
+def test_deferred_packet_preserved_across_many_failed_polls():
+    bucket = TokenBucket(rate_bps=8000, burst_bytes=500)  # 1000 B/s
+    q = DropTailQueue()
+    sched = PriorityScheduler([(lambda p: True, q, bucket)])
+    first, big = mkpkt(size=500), mkpkt(size=500)
+    sched.enqueue(first)
+    assert sched.dequeue(0.0) is first  # drains the bucket
+    sched.enqueue(big)
+    # Dozens of premature polls never lose or duplicate the head packet.
+    for i in range(30):
+        assert sched.dequeue(i * 0.001) is None
+    assert sched.backlog_pkts == 1
+    out = sched.dequeue(1.0)  # refilled 1000 B by now
+    assert out is big
+    assert sched.backlog_pkts == 0
+
+
+def test_rate_limited_class_keeps_fifo_order():
+    bucket = TokenBucket(rate_bps=80_000, burst_bytes=150)
+    q = DropTailQueue()
+    sched = PriorityScheduler([(lambda p: True, q, bucket)])
+    first, second = mkpkt(size=100), mkpkt(size=100)
+    sched.enqueue(first)
+    sched.enqueue(second)
+    assert sched.dequeue(0.0) is first
+    # Bucket drained below 100; the next head parks, then releases in order.
+    got = sched.dequeue(0.0)
+    if got is None:
+        got = sched.dequeue(1.0)
+    assert got is second
+
+
+def test_next_ready_prefers_soonest_class():
+    fast_bucket = TokenBucket(rate_bps=80_000, burst_bytes=10)
+    slow_bucket = TokenBucket(rate_bps=8_000, burst_bytes=10)
+    fast_q, slow_q = DropTailQueue(), DropTailQueue()
+    sched = PriorityScheduler([
+        (lambda p: p.proto == "slow", slow_q, slow_bucket),
+        (lambda p: p.proto == "fast", fast_q, fast_bucket),
+    ])
+    sched.enqueue(mkpkt(proto="slow", size=100))
+    sched.enqueue(mkpkt(proto="fast", size=100))
+    assert sched.dequeue(0.0) is None  # parks both heads
+    ready = sched.next_ready(0.0)
+    # The fast class becomes ready ~10x sooner; next_ready reports it.
+    assert ready == pytest.approx(fast_bucket.time_until(100, 0.0), rel=0.01)
+
+
+def test_empty_scheduler_dequeue_and_ready():
+    sched = PriorityScheduler([(lambda p: True, DropTailQueue(), None)])
+    assert sched.dequeue(0.0) is None
+    assert sched.next_ready(0.0) is None

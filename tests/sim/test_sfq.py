@@ -1,0 +1,124 @@
+"""Stochastic fair queuing, and the collision attack TVA avoids (§3.9)."""
+
+from repro.sim import Packet
+from repro.sim.queues import DRRFairQueue, StochasticFairQueue
+
+
+def mkpkt(src, size=100):
+    return Packet(src=src, dst=2, size=size, proto="raw")
+
+
+def drain_share(qdisc, victim_src, total):
+    """Dequeue ``total`` packets and return the victim's share."""
+    got = 0
+    for _ in range(total):
+        pkt = qdisc.dequeue(0.0)
+        if pkt is None:
+            break
+        if pkt.src == victim_src:
+            got += 1
+    return got
+
+
+def test_sfq_is_fair_for_random_flows():
+    q = StochasticFairQueue(key_fn=lambda p: p.src, n_buckets=32)
+    for _ in range(20):
+        for src in range(8):
+            q.enqueue(mkpkt(src))
+    counts = {src: 0 for src in range(8)}
+    while True:
+        pkt = q.dequeue(0.0)
+        if pkt is None:
+            break
+        counts[pkt.src] += 1
+    # Everything drains and no flow was starved.
+    assert all(c == 20 for c in counts.values())
+
+
+def test_sfq_bounded_state():
+    q = StochasticFairQueue(key_fn=lambda p: p.src, n_buckets=4)
+    for src in range(1000):
+        q.enqueue(mkpkt(src, size=10))
+    assert q.active_queues <= 4
+
+
+def find_colliders(q, victim_src, how_many):
+    """An attacker who can predict the hash picks sources that land in the
+    victim's bucket."""
+    target = q._bucket_of(mkpkt(victim_src))
+    colliders = []
+    src = 10_000
+    while len(colliders) < how_many:
+        if q._bucket_of(mkpkt(src)) == target:
+            colliders.append(src)
+        src += 1
+    return colliders
+
+
+def test_deliberate_collisions_crowd_out_a_victim_under_sfq():
+    """The attack the paper worries about: colliding flows share the
+    victim's bucket, so the victim gets 1/(k+1) of one bucket's service
+    instead of its own queue."""
+    victim = 1
+    sfq = StochasticFairQueue(key_fn=lambda p: p.src, n_buckets=16,
+                              limit_bytes_per_queue=10_000_000)
+    colliders = find_colliders(sfq, victim, 9)
+    # Interleave arrivals: victim and 9 colliders, 40 packets each.
+    for _ in range(40):
+        sfq.enqueue(mkpkt(victim))
+        for src in colliders:
+            sfq.enqueue(mkpkt(src))
+    victim_share_sfq = drain_share(sfq, victim, total=100)
+
+    # Under TVA's per-flow DRR the same arrival pattern gives the victim
+    # a full queue of its own.
+    drr = DRRFairQueue(key_fn=lambda p: p.src, max_queues=64,
+                       limit_bytes_per_queue=10_000_000)
+    for _ in range(40):
+        drr.enqueue(mkpkt(victim))
+        for src in colliders:
+            drr.enqueue(mkpkt(src))
+    victim_share_drr = drain_share(drr, victim, total=100)
+
+    # SFQ: victim shares one bucket with 9 colliders -> ~10 of 100.
+    # DRR: victim owns one of 10 active queues -> ~10 of 100 as well *if*
+    # only the colliders compete... the difference appears against other
+    # legitimate flows:
+    assert victim_share_sfq <= victim_share_drr
+
+
+def test_collisions_starve_victim_relative_to_bystanders():
+    """With bystander traffic present, SFQ gives the victim 1/(k+1) of a
+    bucket while each bystander keeps a whole bucket; DRR gives everyone
+    an equal per-flow share."""
+    victim = 1
+    bystanders = [2, 3, 4]
+    sfq = StochasticFairQueue(key_fn=lambda p: p.src, n_buckets=64,
+                              limit_bytes_per_queue=10_000_000)
+    # Ensure bystanders do not collide with the victim for a fair reading.
+    bystanders = [b for b in bystanders
+                  if sfq._bucket_of(mkpkt(b)) != sfq._bucket_of(mkpkt(victim))]
+    assert bystanders
+    colliders = find_colliders(sfq, victim, 15)
+    for _ in range(60):
+        sfq.enqueue(mkpkt(victim))
+        for src in bystanders:
+            sfq.enqueue(mkpkt(src))
+        for src in colliders:
+            sfq.enqueue(mkpkt(src))
+    total = 200
+    victim_got = drain_share(sfq, victim, total)
+
+    drr = DRRFairQueue(key_fn=lambda p: p.src, max_queues=64,
+                       limit_bytes_per_queue=10_000_000)
+    for _ in range(60):
+        drr.enqueue(mkpkt(victim))
+        for src in bystanders:
+            drr.enqueue(mkpkt(src))
+        for src in colliders:
+            drr.enqueue(mkpkt(src))
+    victim_got_drr = drain_share(drr, victim, total)
+
+    # Under DRR the victim's share equals any bystander's; under attacked
+    # SFQ it is a fraction of it.
+    assert victim_got_drr >= victim_got * 2
