@@ -8,19 +8,15 @@ attack is too diffuse to identify (~40 attackers), then collapses.  The
 legacy Internet's completion fraction "quickly approaches zero".
 """
 
-from conftest import DURATION, SWEEP, horizon, print_flood_table
+from conftest import DURATION, SWEEP, print_flood_table, sweep_rows
 
-from repro.eval import ExperimentConfig, run_flood_scenario
+from repro.eval import ExperimentConfig, SweepRunner, build_flood_specs
 
 
 def _sweep(scheme):
-    config = ExperimentConfig(duration=DURATION)
-    rows = []
-    for k in SWEEP:
-        log = run_flood_scenario(scheme, "legacy", k, config)
-        rows.append((scheme, k, log.fraction_completed(horizon()),
-                     log.average_completion_time()))
-    return rows
+    specs = build_flood_specs("legacy", (scheme,), SWEEP,
+                              ExperimentConfig(duration=DURATION))
+    return sweep_rows(SweepRunner(jobs=1).run(specs))
 
 
 def _bench(bench_once, benchmark, scheme):

@@ -7,28 +7,17 @@ fraction nor the transfer time moves.  SIFF behaves as under legacy floods
 packets as ordinary data, so their curves match Figure 8.
 """
 
-from conftest import DURATION, SWEEP, horizon, print_flood_table
+from conftest import DURATION, SWEEP, print_flood_table, sweep_rows
 
-from repro.core import FilteringPolicy, ServerPolicy
-from repro.eval import ExperimentConfig, run_flood_scenario
+from repro.eval import ExperimentConfig, SweepRunner, build_flood_specs
 
 
 def _sweep(scheme):
-    config = ExperimentConfig(duration=DURATION)
-    rows = []
-    for k in SWEEP:
-        suspects = set(range(config.n_users + 1, config.n_users + k + 1))
-
-        def policy(suspects=suspects):
-            return FilteringPolicy(
-                ServerPolicy(default_grant=config.server_grant), suspects
-            )
-
-        log = run_flood_scenario(scheme, "request", k, config,
-                                 destination_policy=policy)
-        rows.append((scheme, k, log.fraction_completed(horizon()),
-                     log.average_completion_time()))
-    return rows
+    # build_flood_specs gives request floods the "filtering" policy — the
+    # paper's destination that refuses attacker requests.
+    specs = build_flood_specs("request", (scheme,), SWEEP,
+                              ExperimentConfig(duration=DURATION))
+    return sweep_rows(SweepRunner(jobs=1).run(specs))
 
 
 def _bench(bench_once, benchmark, scheme):

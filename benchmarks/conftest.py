@@ -34,6 +34,13 @@ def bench_once(benchmark):
     return run
 
 
+def sweep_rows(runs):
+    """RunResults -> the (scheme, k, fraction, avg_time) rows the
+    figure benchmarks print and assert on."""
+    return [(r.scheme, r.n_attackers, r.fraction_completed,
+             r.avg_transfer_time) for r in runs]
+
+
 def print_flood_table(title, rows):
     """rows: iterable of (scheme, k, fraction, avg_time)."""
     print()

@@ -4,44 +4,20 @@
 Ten legitimate users repeatedly fetch 20 KB files across a 10 Mb/s
 bottleneck while attackers flood the destination with legacy traffic at
 1 Mb/s each.  The same scenario runs under TVA and under the plain
-Internet; the point of the paper in two tables.
+Internet; the point of the paper in two lines of output.
+
+The scenarios are described declaratively as :class:`ScenarioSpec`
+objects and executed by the sweep runner — the same machinery behind
+``python -m repro fig8 --jobs N``.
 
 Run:  python examples/flood_defense.py [n_attackers]
 """
 
-import random
 import sys
 
-from repro.baselines import LegacyScheme
-from repro.core import ServerPolicy, TvaScheme
-from repro.core.params import SERVER_GRANT_BYTES
-from repro.sim import Simulator, TransferLog, build_dumbbell
-from repro.transport import CbrFlood, RepeatingTransferClient, TcpListener
+from repro.eval import ExperimentConfig, ScenarioSpec, SweepRunner
 
 DURATION = 12.0
-
-
-def run(scheme, scheme_name, n_attackers):
-    sim = Simulator()
-    net = build_dumbbell(sim, scheme, n_users=10, n_attackers=n_attackers)
-    log = TransferLog()
-    TcpListener(sim, net.destination, 80)
-    rng = random.Random(7)
-    for user in net.users:
-        RepeatingTransferClient(sim, user, net.destination.address, 80,
-                                nbytes=20_000, log=log,
-                                start_at=rng.uniform(0, 0.3),
-                                stop_at=DURATION)
-    for i, attacker in enumerate(net.attackers):
-        CbrFlood(sim, attacker, net.destination.address, rate_bps=1e6,
-                 pkt_size=1000, mode="legacy", jitter=0.3,
-                 start_at=rng.uniform(0, 0.01), rng=random.Random(70 + i))
-    sim.run(until=DURATION)
-    frac = log.fraction_completed(DURATION - 2.0)
-    avg = log.average_completion_time()
-    avg_s = "   -  " if avg is None else f"{avg:6.2f}"
-    print(f"  {scheme_name:16s} completion {frac:5.2f}   avg time {avg_s} s"
-          f"   ({log.completed} transfers)")
 
 
 def main() -> None:
@@ -50,13 +26,19 @@ def main() -> None:
     print(f"{n_attackers} attackers × 1 Mb/s = {attack_bps/1e6:.0f} Mb/s of "
           "flood across a 10 Mb/s bottleneck")
     print()
-    run(
-        TvaScheme(request_fraction=0.01,
-                  destination_policy=lambda: ServerPolicy(
-                      default_grant=(SERVER_GRANT_BYTES, 10))),
-        "TVA", n_attackers,
-    )
-    run(LegacyScheme(), "legacy Internet", n_attackers)
+
+    config = ExperimentConfig(duration=DURATION, seed=7)
+    specs = [
+        ScenarioSpec(scheme, "legacy", n_attackers, config=config)
+        for scheme in ("tva", "internet")
+    ]
+    labels = {"tva": "TVA", "internet": "legacy Internet"}
+    for run in SweepRunner(jobs=1).run(specs):
+        avg = run.avg_transfer_time
+        avg_s = "   -  " if avg is None else f"{avg:6.2f}"
+        print(f"  {labels[run.scheme]:16s} completion "
+              f"{run.fraction_completed:5.2f}   avg time {avg_s} s"
+              f"   ({run.transfers_completed} transfers)")
     print()
     print("TVA users never notice the flood: unauthorized traffic is")
     print("confined to the lowest priority class, and authorized traffic")

@@ -3,30 +3,41 @@
 Examples::
 
     python -m repro fig8                      # all four schemes, default sweep
+    python -m repro fig8 --jobs 4 --seeds 5   # parallel, with 95% CIs
     python -m repro fig9 --schemes tva,siff --sweep 10,100 --duration 20
-    python -m repro fig10
+    python -m repro fig10 --json > fig10.json
     python -m repro fig11 --scheme siff --pattern staggered
     python -m repro table1
     python -m repro fig12
     python -m repro scenario --scheme tva --attack legacy --attackers 30
+
+Every simulation subcommand shares the sweep-runner flags: ``--jobs N``
+fans sweep points out across processes (default: all cores), ``--seeds
+N`` replicates each point and reports mean ± 95% CI, ``--json`` emits
+machine-readable results, and results are cached on disk (``--no-cache``
+/ ``--cache-dir`` to disable or relocate) so re-runs are near-instant.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
-from .core import FilteringPolicy, ServerPolicy
 from .eval import (
     DEFAULT_SWEEP,
     SCHEMES,
     ExperimentConfig,
+    ResultCache,
+    ScenarioSpec,
+    SweepRunner,
+    build_fig11_spec,
+    build_flood_specs,
     forwarding_rate_curve,
     format_table1,
     measure_processing_costs,
     run_fig11_imprecise,
-    run_flood_scenario,
 )
 from .eval.procbench import PACKET_KINDS
 
@@ -48,35 +59,41 @@ def _parse_sweep(value: str) -> List[int]:
         raise argparse.ArgumentTypeError(str(exc))
 
 
-def _flood_table(rows) -> str:
-    lines = [f"{'scheme':9s} {'k':>4s} {'frac':>6s} {'avg(s)':>8s}"]
-    for scheme, k, frac, avg in rows:
-        avg_s = "    -  " if avg is None else f"{avg:7.2f}"
-        lines.append(f"{scheme:9s} {k:4d} {frac:6.2f} {avg_s}")
-    return "\n".join(lines)
+def _positive_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    if parsed < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return parsed
+
+
+def _make_runner(args) -> SweepRunner:
+    """Build a :class:`SweepRunner` from the shared CLI flags."""
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = ResultCache(getattr(args, "cache_dir", None))
+
+    def ticker(spec, cached):
+        tag = " (cached)" if cached else ""
+        print(f"\r{spec.scheme} k={spec.n_attackers} seed={spec.seed}"
+              f" done{tag}   ", end="", file=sys.stderr)
+
+    return SweepRunner(jobs=getattr(args, "jobs", None), cache=cache,
+                       progress=ticker)
 
 
 def _run_flood_figure(args, attack: str, title: str) -> int:
     config = ExperimentConfig(duration=args.duration, seed=args.seed)
-    horizon = max(0.0, args.duration - 2.0)
-    rows = []
-    for scheme in args.schemes:
-        for k in args.sweep:
-            kwargs = {}
-            if attack == "request":
-                suspects = set(range(config.n_users + 1, config.n_users + k + 1))
-                kwargs["destination_policy"] = (
-                    lambda s=suspects: FilteringPolicy(
-                        ServerPolicy(default_grant=config.server_grant), s
-                    )
-                )
-            log = run_flood_scenario(scheme, attack, k, config, **kwargs)
-            rows.append((scheme, k, log.fraction_completed(horizon),
-                         log.average_completion_time()))
-            print(f"\r{scheme} k={k} done", end="", file=sys.stderr)
+    specs = build_flood_specs(attack, args.schemes, args.sweep, config)
+    runner = _make_runner(args)
+    result = runner.run_points(specs, seeds=args.seeds, title=title)
     print("", file=sys.stderr)
-    print(title)
-    print(_flood_table(rows))
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.table())
     return 0
 
 
@@ -110,7 +127,21 @@ def _sparkline(series, t_max: float, buckets: int = 60) -> str:
 
 def _cmd_fig11(args) -> int:
     result = run_fig11_imprecise(args.scheme, args.pattern,
-                                 duration=args.duration)
+                                 duration=args.duration,
+                                 runner=_make_runner(args))
+    print("", file=sys.stderr)
+    if args.json:
+        print(json.dumps({
+            "scheme": result.scheme,
+            "pattern": result.pattern,
+            "attack_start": result.attack_start,
+            "max_transfer_time": result.max_transfer_time(),
+            "disruption_end": result.disruption_end(),
+            "effective_attack_seconds": result.effective_attack_seconds(),
+            "completion_gaps": result.completion_gaps(),
+            "series": result.series,
+        }, indent=2))
+        return 0
     print(f"Figure 11 — {args.scheme}, {args.pattern} "
           f"(attack starts at t=10 s)")
     print(f"  completed transfers : {len(result.series)}")
@@ -149,64 +180,81 @@ def _cmd_fig12(args) -> int:
 
 def _cmd_scenario(args) -> int:
     config = ExperimentConfig(duration=args.duration, seed=args.seed)
-    log = run_flood_scenario(args.scheme, args.attack, args.attackers, config)
-    horizon = max(0.0, args.duration - 2.0)
-    avg = log.average_completion_time()
+    spec = ScenarioSpec(scheme=args.scheme, attack=args.attack,
+                        n_attackers=args.attackers, seed=args.seed,
+                        config=config)
+    (run,) = _make_runner(args).run([spec])
+    print("", file=sys.stderr)
+    if args.json:
+        print(json.dumps(run.to_dict(), indent=2))
+        return 0
+    avg = run.avg_transfer_time
     print(f"scheme={args.scheme} attack={args.attack} k={args.attackers} "
           f"duration={args.duration:.0f}s")
-    print(f"  completion fraction : {log.fraction_completed(horizon):.2f}")
+    print(f"  completion fraction : {run.fraction_completed:.2f}")
     print(f"  avg transfer time   : "
           f"{'-' if avg is None else f'{avg:.2f} s'}")
-    print(f"  transfers completed : {log.completed}")
+    print(f"  transfers completed : {run.transfers_completed}")
     return 0
 
 
 def _cmd_report(args) -> int:
     """Run every experiment at the chosen scale and write one markdown
-    report — the whole evaluation in a single command."""
-    config = ExperimentConfig(duration=args.duration, seed=args.seed)
-    horizon = max(0.0, args.duration - 2.0)
-    lines = ["# TVA reproduction report", ""]
+    report — the whole evaluation in a single command.
 
-    for attack, title in (("legacy", "Figure 8 — legacy packet floods"),
-                          ("request", "Figure 9 — request packet floods"),
-                          ("colluder", "Figure 10 — authorized floods")):
+    All flood sweeps and the four Figure 11 scenarios are batched into a
+    single runner pass, so ``--jobs N`` parallelizes across the whole
+    evaluation and warm caches regenerate the report near-instantly.
+    """
+    config = ExperimentConfig(duration=args.duration, seed=args.seed)
+    runner = _make_runner(args)
+    figures = (("legacy", "Figure 8 — legacy packet floods"),
+               ("request", "Figure 9 — request packet floods"),
+               ("colluder", "Figure 10 — authorized floods"))
+
+    specs: List[ScenarioSpec] = []
+    for attack, _ in figures:
+        specs.extend(build_flood_specs(attack, args.schemes, args.sweep,
+                                       config))
+    fig11_cases = [(scheme, pattern) for scheme in ("tva", "siff")
+                   for pattern in ("all_at_once", "staggered")]
+    specs.extend(build_fig11_spec(scheme, pattern,
+                                  duration=args.fig11_duration)
+                 for scheme, pattern in fig11_cases)
+    sweep_result = runner.run_points(specs, seeds=args.seeds,
+                                     title="TVA reproduction report")
+    runs = sweep_result.points
+    print("", file=sys.stderr)
+    if args.json:
+        print(sweep_result.to_json())
+        return 0
+
+    lines = ["# TVA reproduction report", ""]
+    per_figure = len(args.schemes) * len(args.sweep)
+    for index, (attack, title) in enumerate(figures):
         lines += [f"## {title}", "",
                   "| scheme | k | completion | avg time (s) |",
                   "|---|---|---|---|"]
-        for scheme in args.schemes:
-            for k in args.sweep:
-                kwargs = {}
-                if attack == "request":
-                    suspects = set(range(config.n_users + 1,
-                                         config.n_users + k + 1))
-                    kwargs["destination_policy"] = (
-                        lambda s=suspects: FilteringPolicy(
-                            ServerPolicy(default_grant=config.server_grant), s))
-                log = run_flood_scenario(scheme, attack, k, config, **kwargs)
-                avg = log.average_completion_time()
-                lines.append(
-                    f"| {scheme} | {k} | {log.fraction_completed(horizon):.2f} "
-                    f"| {'-' if avg is None else f'{avg:.2f}'} |")
-                print(f"\r{title}: {scheme} k={k} done   ",
-                      end="", file=sys.stderr)
+        for point in runs[index * per_figure:(index + 1) * per_figure]:
+            avg = point.time_mean
+            lines.append(
+                f"| {point.scheme} | {point.n_attackers} "
+                f"| {point.fraction_mean:.2f} "
+                f"| {'-' if avg is None else f'{avg:.2f}'} |")
         lines.append("")
-    print("", file=sys.stderr)
 
     lines += ["## Figure 11 — imprecise policies", "",
               "| scheme | pattern | max transfer (s) | completion gaps |",
               "|---|---|---|---|"]
-    for scheme in ("tva", "siff"):
-        for pattern in ("all_at_once", "staggered"):
-            result = run_fig11_imprecise(scheme, pattern,
-                                         duration=args.fig11_duration)
-            gaps = ", ".join(f"{a:.1f}-{b:.1f}"
-                             for a, b in result.completion_gaps())
-            lines.append(f"| {scheme} | {pattern} | "
-                         f"{result.max_transfer_time():.2f} | {gaps or '-'} |")
-            print(f"\rFigure 11: {scheme}/{pattern} done   ",
-                  end="", file=sys.stderr)
-    print("", file=sys.stderr)
+    from .eval import Fig11Result
+
+    for point, (scheme, pattern) in zip(runs[3 * per_figure:], fig11_cases):
+        result = Fig11Result(scheme=scheme, pattern=pattern,
+                             series=[tuple(p) for p in point.runs[0].time_series])
+        gaps = ", ".join(f"{a:.1f}-{b:.1f}"
+                         for a, b in result.completion_gaps())
+        lines.append(f"| {scheme} | {pattern} | "
+                     f"{result.max_transfer_time():.2f} | {gaps or '-'} |")
     lines.append("")
 
     costs = measure_processing_costs(packets_per_kind=args.packets)
@@ -230,6 +278,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_runner_flags(p, seeds=True):
+        """The sweep-runner knobs shared by every simulation command."""
+        p.add_argument("--jobs", type=_positive_int, default=None,
+                       metavar="N",
+                       help="worker processes (default: all cores; "
+                            "1 = deterministic in-process)")
+        if seeds:
+            p.add_argument("--seeds", type=_positive_int, default=1,
+                           metavar="N",
+                           help="seed replications per point "
+                                "(mean ± 95%% CI when > 1)")
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of a table")
+        p.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk result cache")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro)")
+
     def add_flood(name, fn, help_text):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--schemes", type=_parse_schemes,
@@ -241,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--duration", type=float, default=15.0,
                        help="simulated seconds per point")
         p.add_argument("--seed", type=int, default=1)
+        add_runner_flags(p)
         p.set_defaults(fn=fn)
 
     add_flood("fig8", _cmd_fig8, "legacy packet floods")
@@ -252,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     p11.add_argument("--pattern", choices=("all_at_once", "staggered"),
                      default="all_at_once")
     p11.add_argument("--duration", type=float, default=50.0)
+    add_runner_flags(p11, seeds=False)
     p11.set_defaults(fn=_cmd_fig11)
 
     pt1 = sub.add_parser("table1", help="per-packet processing cost")
@@ -273,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--seed", type=int, default=1)
     pr.add_argument("--output", default="RESULTS.md",
                     help="output file, or - for stdout")
+    add_runner_flags(pr)
     pr.set_defaults(fn=_cmd_report)
 
     ps = sub.add_parser("scenario", help="one custom flood scenario")
@@ -283,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--attackers", type=int, default=10)
     ps.add_argument("--duration", type=float, default=15.0)
     ps.add_argument("--seed", type=int, default=1)
+    add_runner_flags(ps, seeds=False)
     ps.set_defaults(fn=_cmd_scenario)
 
     return parser

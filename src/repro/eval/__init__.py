@@ -2,10 +2,19 @@
 
 * :mod:`repro.eval.experiments` — Figures 8, 9, 10, 11 (ns-style dumbbell
   simulations of the four schemes under four attack classes).
+* :mod:`repro.eval.runner` — the sweep runner: declarative
+  :class:`ScenarioSpec` descriptions of single runs, executed cached,
+  multi-seed, and multi-process by :class:`SweepRunner`.
+* :mod:`repro.eval.results` — :class:`RunResult` / :class:`PointResult` /
+  :class:`SweepResult`, JSON-serializable with mean/stdev/95%-CI
+  aggregation across seed replications.
+* :mod:`repro.eval.cache` — content-addressed on-disk cache keyed by
+  spec hash, making warm re-runs near-instant.
 * :mod:`repro.eval.procbench` — Table 1 and Figure 12 (packet-processing
   cost and forwarding-rate micro-benchmarks of the TVA router pipeline).
 """
 
+from .cache import ResultCache, default_cache_dir
 from .experiments import (
     DEFAULT_SWEEP,
     SCHEMES,
@@ -28,6 +37,14 @@ from .procbench import (
     format_table1,
     measure_processing_costs,
 )
+from .results import PointResult, RunResult, SweepResult
+from .runner import (
+    ScenarioSpec,
+    SweepRunner,
+    build_fig11_spec,
+    build_flood_specs,
+    run_spec,
+)
 
 __all__ = [
     "DEFAULT_SWEEP",
@@ -35,9 +52,18 @@ __all__ = [
     "Fig11Result",
     "FloodResult",
     "PACKET_KINDS",
+    "PointResult",
     "ProcessingCost",
+    "ResultCache",
     "RouterWorkbench",
+    "RunResult",
     "SCHEMES",
+    "ScenarioSpec",
+    "SweepResult",
+    "SweepRunner",
+    "build_fig11_spec",
+    "build_flood_specs",
+    "default_cache_dir",
     "format_flood_table",
     "format_table1",
     "forwarding_rate_curve",
@@ -48,4 +74,5 @@ __all__ = [
     "run_fig8_legacy_flood",
     "run_fig9_request_flood",
     "run_flood_scenario",
+    "run_spec",
 ]

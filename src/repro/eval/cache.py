@@ -1,0 +1,100 @@
+"""Content-addressed on-disk cache for simulation results.
+
+A :class:`~repro.eval.runner.ScenarioSpec` hashes to a stable hex key
+(spec fields + a code-version salt); the cache stores the corresponding
+:class:`~repro.eval.results.RunResult` as JSON under
+``<cache_dir>/<key[:2]>/<key>.json``.  Because the simulator is
+deterministic given a spec, a warm cache makes re-running a figure or
+regenerating a report near-instant.
+
+The default directory is ``$REPRO_CACHE_DIR``, or ``~/.cache/repro``
+(``$XDG_CACHE_HOME`` honoured).  Corrupt or unreadable entries are
+treated as misses and overwritten, never raised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from .results import RunResult
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class ResultCache:
+    """Get/put :class:`RunResult` objects keyed by spec hash."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        if not key:
+            raise ValueError("cache key must be non-empty")
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            result = RunResult.from_dict(data)
+        except (OSError, ValueError, TypeError, KeyError):
+            self.misses += 1
+            return None
+        if result.spec_key != key:
+            # A stale file from an older key scheme: ignore it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store a result; best-effort — an unwritable cache directory
+        degrades to no caching rather than losing the computed result."""
+        path = self.path_for(key)
+        tmp = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: a concurrent reader sees the old file or
+            # the new one, never a torn write.
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(result.to_dict(), handle)
+            os.replace(tmp, path)
+        except OSError:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if not self.directory.exists():
+            return 0
+        for path in self.directory.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))

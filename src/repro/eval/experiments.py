@@ -17,14 +17,12 @@ per user); the *shape* of every curve is preserved.  Pass a larger
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..baselines import LegacyScheme, PushbackScheme, SiffScheme
-from ..core import OraclePolicy, ServerPolicy, TvaScheme
+from ..core import ServerPolicy, TvaScheme
 from ..core.params import (
-    DEFAULT_GRANT_BYTES,
-    DEFAULT_GRANT_SECONDS,
     REQUEST_FRACTION_SIM,
     SERVER_GRANT_BYTES,
     SERVER_GRANT_SECONDS,
@@ -41,7 +39,13 @@ DEFAULT_SWEEP = (1, 2, 4, 10, 20, 40, 100)
 
 @dataclass
 class ExperimentConfig:
-    """Knobs shared by the flood experiments; defaults follow Section 5."""
+    """Knobs shared by the flood experiments; defaults follow Section 5.
+
+    Round-trips losslessly through ``to_dict``/``from_dict`` (and hence
+    JSON): ``server_grant`` is normalized back to a tuple on load, so a
+    reloaded config compares equal to the original — the cache and the
+    sweep runner rely on that.
+    """
 
     n_users: int = 10
     transfer_bytes: int = 20_000
@@ -52,6 +56,17 @@ class ExperimentConfig:
     seed: int = 1
     request_fraction: float = REQUEST_FRACTION_SIM  # 1%: "to stress our design"
     server_grant: tuple = (SERVER_GRANT_BYTES, SERVER_GRANT_SECONDS)
+
+    def __post_init__(self) -> None:
+        # JSON turns tuples into lists; normalize so equality survives.
+        self.server_grant = tuple(self.server_grant)
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentConfig":
+        return cls(**data)
 
 
 @dataclass
@@ -71,6 +86,13 @@ class FloodResult:
             f"{self.scheme:9s} {self.n_attackers:4d}  "
             f"{self.fraction_completed:6.2f}  {avg}"
         )
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FloodResult":
+        return cls(**data)
 
 
 def make_scheme(
@@ -206,92 +228,69 @@ def run_flood_scenario(
     return log
 
 
-def _measure(
-    scheme_name: str,
-    attack: str,
-    n_attackers: int,
-    log: TransferLog,
-    duration: float,
-) -> FloodResult:
-    # Transfers that started at least 2 s before the window closed and are
-    # still hanging were denied service: they count as not completed.
-    horizon = max(0.0, duration - 2.0)
-    return FloodResult(
-        scheme=scheme_name,
-        attack=attack,
-        n_attackers=n_attackers,
-        fraction_completed=log.fraction_completed(horizon),
-        avg_transfer_time=log.average_completion_time(),
-        transfers_attempted=log.attempted_by(horizon),
-    )
-
-
 # ---------------------------------------------------------------------------
 # Figure runners
 # ---------------------------------------------------------------------------
+
+def _run_flood_figure(
+    attack: str,
+    schemes: Sequence[str],
+    sweep: Sequence[int],
+    config: Optional[ExperimentConfig],
+    runner=None,
+) -> List[FloodResult]:
+    """Shared body of the Figure 8/9/10 runners: build specs, run them.
+
+    ``runner`` is an optional :class:`~repro.eval.runner.SweepRunner`;
+    the default is the deterministic in-process path with no cache, so
+    library callers and tests see exactly the historical behaviour.
+    Pass ``SweepRunner(jobs=N, cache=...)`` to parallelize.
+    """
+    from .runner import SweepRunner, build_flood_specs
+
+    config = config or ExperimentConfig()
+    specs = build_flood_specs(attack, schemes, sweep, config)
+    runner = runner or SweepRunner(jobs=1)
+    return [run.to_flood_result() for run in runner.run(specs)]
+
 
 def run_fig8_legacy_flood(
     schemes: Sequence[str] = SCHEMES,
     sweep: Sequence[int] = DEFAULT_SWEEP,
     config: Optional[ExperimentConfig] = None,
+    runner=None,
 ) -> List[FloodResult]:
     """Figure 8: attackers flood the destination with legacy traffic."""
-    config = config or ExperimentConfig()
-    results = []
-    for name in schemes:
-        for k in sweep:
-            log = run_flood_scenario(name, "legacy", k, config)
-            results.append(_measure(name, "legacy", k, log, config.duration))
-    return results
+    return _run_flood_figure("legacy", schemes, sweep, config, runner)
 
 
 def run_fig9_request_flood(
     schemes: Sequence[str] = SCHEMES,
     sweep: Sequence[int] = DEFAULT_SWEEP,
     config: Optional[ExperimentConfig] = None,
+    runner=None,
 ) -> List[FloodResult]:
     """Figure 9: attackers flood the destination with request packets.
 
     The paper assumes "the destination was able to distinguish requests
     from legitimate users and those from attackers", so the TVA/SIFF
-    destination refuses attacker addresses outright; the attacker
-    addresses in the dumbbell builder start right after the users'.
+    destination refuses attacker addresses outright (the specs carry the
+    ``"filtering"`` policy; the attacker addresses in the dumbbell
+    builder start right after the users').
     """
-    config = config or ExperimentConfig()
-    results = []
-    for name in schemes:
-        for k in sweep:
-            suspects = set(range(config.n_users + 1, config.n_users + k + 1))
-
-            def policy_factory(suspects=suspects):
-                from ..core import FilteringPolicy
-
-                return FilteringPolicy(
-                    ServerPolicy(default_grant=config.server_grant), suspects
-                )
-
-            log = run_flood_scenario(
-                name, "request", k, config, destination_policy=policy_factory
-            )
-            results.append(_measure(name, "request", k, log, config.duration))
-    return results
+    return _run_flood_figure("request", schemes, sweep, config, runner)
 
 
 def run_fig10_colluder_flood(
     schemes: Sequence[str] = SCHEMES,
     sweep: Sequence[int] = DEFAULT_SWEEP,
     config: Optional[ExperimentConfig] = None,
+    runner=None,
 ) -> List[FloodResult]:
     """Figure 10: a colluder authorizes attacker floods across the
     bottleneck; TVA's per-destination fair queuing shares the link between
     the colluder and the destination."""
-    config = config or ExperimentConfig()
-    results = []
-    for name in schemes:
-        for k in sweep:
-            log = run_flood_scenario(name, "colluder", k, config)
-            results.append(_measure(name, "colluder", k, log, config.duration))
-    return results
+    return _run_flood_figure("colluder", schemes, sweep, config, runner)
 
 
 @dataclass
@@ -342,6 +341,7 @@ def run_fig11_imprecise(
     attack_start: float = 10.0,
     duration: float = 60.0,
     config: Optional[ExperimentConfig] = None,
+    runner=None,
 ) -> Fig11Result:
     """Figure 11: the destination initially grants everyone 32 KB / 10 s,
     then never renews the attackers.  ``pattern`` is ``all_at_once`` (all
@@ -354,45 +354,27 @@ def run_fig11_imprecise(
     groups are all spent within a few seconds; under SIFF (3-second secret
     turnover, no previous-secret grace, as the paper assumes) a group's
     marks stay lethal until the next rotation, so ten groups sustain the
-    attack for ~30 s."""
-    if pattern not in ("all_at_once", "staggered"):
-        raise ValueError(f"unknown pattern {pattern!r}")
-    config = config or ExperimentConfig(duration=duration)
-    config.duration = duration
-    n_users = config.n_users
-    suspects = set(range(n_users + 1, n_users + n_attackers + 1))
+    attack for ~30 s.
 
-    def oracle_factory():
-        return OraclePolicy(
-            suspects, default_grant=(DEFAULT_GRANT_BYTES, DEFAULT_GRANT_SECONDS)
-        )
+    The caller's ``config`` is never mutated: the ``duration`` override
+    is applied with :func:`dataclasses.replace` on a copy.
+    """
+    from .runner import SweepRunner, build_fig11_spec
 
-    groups = 10 if pattern == "staggered" else 1
-    if scheme_name == "siff":
-        group_lifetime = 3.0  # marks die at the next secret rotation
-    else:
-        # 32 KB at 1 Mb/s, plus a little handshake latency.
-        group_lifetime = DEFAULT_GRANT_BYTES * 8 / config.attack_rate_bps + 0.1
-    log = run_flood_scenario(
+    spec = build_fig11_spec(
         scheme_name,
-        "authorized",
-        n_attackers,
-        config,
-        destination_policy=oracle_factory,
+        pattern,
+        n_attackers=n_attackers,
         attack_start=attack_start,
-        attack_groups=groups,
-        group_stagger=group_lifetime if pattern == "staggered" else 0.0,
-        siff_secret_period=3.0,
-        siff_accept_previous=False,
-        # Wide, idealized marks: Figure 11 isolates *expiry* behaviour, and
-        # 2-bit marks would let 1/16 of attackers survive each rotation by
-        # collision (a separate SIFF weakness, studied in the ablations).
-        siff_mark_bits=16,
+        duration=duration,
+        config=config,
     )
+    runner = runner or SweepRunner(jobs=1)
+    (run,) = runner.run([spec])
     return Fig11Result(
         scheme=scheme_name,
         pattern=pattern,
-        series=log.time_series(),
+        series=[tuple(point) for point in run.time_series],
         attack_start=attack_start,
     )
 

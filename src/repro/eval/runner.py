@@ -1,0 +1,333 @@
+"""Declarative scenario specs and the parallel sweep runner.
+
+The paper's evaluation (Figures 8-11) is a grid of *independent*
+simulations — scheme × attack × attacker count × seed.  This module
+makes that grid a first-class object:
+
+* :class:`ScenarioSpec` — a declarative, hashable description of one
+  simulation run.  Everything :func:`repro.eval.run_flood_scenario`
+  needs is a spec field; the destination policy is named (``"server"``,
+  ``"filtering"``, ``"oracle"``) rather than passed as a callable, so a
+  spec pickles across processes and hashes to a stable cache key.
+* :func:`run_spec` — execute one spec, returning a
+  :class:`~repro.eval.results.RunResult` summary.
+* :class:`SweepRunner` — execute many specs, fanning out across a
+  ``ProcessPoolExecutor`` (``jobs > 1``) or running deterministically
+  in-process (``jobs = 1``), consulting an optional
+  :class:`~repro.eval.cache.ResultCache` first, and aggregating
+  multi-seed replications into mean/stdev/95%-CI points.
+
+The ``build_*_specs`` helpers turn the per-figure parameters into spec
+lists; the ``run_fig*`` functions in :mod:`repro.eval.experiments` are
+thin wrappers over them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field, replace
+from typing import Callable, List, Optional, Sequence
+
+from .. import __version__
+from .cache import ResultCache
+from .experiments import ExperimentConfig, run_flood_scenario
+from .results import PointResult, RunResult, SweepResult
+
+#: Salt mixed into every cache key.  Bump the suffix whenever the
+#: simulator's observable behaviour changes without a version bump, so
+#: stale cached results can never satisfy a new code base.
+CACHE_SALT = f"repro-runner-v1:{__version__}"
+
+#: Destination-policy names a spec may carry (see ``_policy_factory``).
+POLICIES = ("server", "filtering", "oracle")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One simulation run, described declaratively.
+
+    ``seed`` overrides ``config.seed`` at run time, so seed replication
+    is ``replace(spec, seed=...)`` without touching the shared config.
+    ``policy`` selects the destination policy by name:
+
+    * ``"server"`` — plain :class:`~repro.core.ServerPolicy` with the
+      config's default grant (Figures 8 and 10);
+    * ``"filtering"`` — the same, refusing the attacker address range
+      (Figure 9's "destination can tell attacker requests apart");
+    * ``"oracle"`` — grants every first request, never renews attackers
+      (Figure 11's imprecise policy).
+    """
+
+    scheme: str
+    attack: str
+    n_attackers: int
+    seed: int = 1
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    policy: str = "server"
+    attack_start: float = 0.0
+    attack_groups: int = 1
+    group_stagger: float = 0.0
+    siff_secret_period: Optional[float] = None
+    siff_accept_previous: bool = True
+    siff_mark_bits: int = 2
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; choose from {POLICIES}"
+            )
+
+    def canonical(self) -> dict:
+        """The spec as plain data, independent of field ordering."""
+        data = asdict(self)
+        data["config"]["server_grant"] = list(data["config"]["server_grant"])
+        return data
+
+    def key(self) -> str:
+        """Stable content hash of the spec plus the code-version salt."""
+        payload = json.dumps(
+            {"salt": CACHE_SALT, "spec": self.canonical()}, sort_keys=True
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        return replace(self, seed=seed)
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+def _policy_factory(spec: ScenarioSpec) -> Optional[Callable]:
+    """Build the destination-policy callable named by ``spec.policy``.
+
+    Built inside the worker process, from the spec alone — callables
+    never cross the process boundary.
+    """
+    if spec.policy == "server":
+        return None  # make_scheme falls back to the default ServerPolicy
+    from ..core import FilteringPolicy, OraclePolicy, ServerPolicy
+    from ..core.params import DEFAULT_GRANT_BYTES, DEFAULT_GRANT_SECONDS
+
+    n_users = spec.config.n_users
+    suspects = set(range(n_users + 1, n_users + spec.n_attackers + 1))
+    if spec.policy == "filtering":
+        grant = spec.config.server_grant
+        return lambda: FilteringPolicy(
+            ServerPolicy(default_grant=grant), set(suspects)
+        )
+    return lambda: OraclePolicy(
+        set(suspects),
+        default_grant=(DEFAULT_GRANT_BYTES, DEFAULT_GRANT_SECONDS),
+    )
+
+
+def run_spec(spec: ScenarioSpec) -> RunResult:
+    """Execute one spec and summarize its transfer log.
+
+    Module-level so a ``ProcessPoolExecutor`` can pickle it; the only
+    thing shipped to the worker is the spec itself.
+    """
+    config = replace(spec.config, seed=spec.seed)
+    log = run_flood_scenario(
+        spec.scheme,
+        spec.attack,
+        spec.n_attackers,
+        config,
+        destination_policy=_policy_factory(spec),
+        attack_start=spec.attack_start,
+        attack_groups=spec.attack_groups,
+        group_stagger=spec.group_stagger,
+        siff_secret_period=spec.siff_secret_period,
+        siff_accept_previous=spec.siff_accept_previous,
+        siff_mark_bits=spec.siff_mark_bits,
+    )
+    horizon = max(0.0, config.duration - 2.0)
+    return RunResult(
+        scheme=spec.scheme,
+        attack=spec.attack,
+        n_attackers=spec.n_attackers,
+        seed=spec.seed,
+        fraction_completed=log.fraction_completed(horizon),
+        avg_transfer_time=log.average_completion_time(),
+        transfers_attempted=log.attempted_by(horizon),
+        transfers_completed=log.completed,
+        time_series=tuple(tuple(point) for point in log.time_series()),
+        spec_key=spec.key(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Spec builders: per-figure parameters -> spec lists
+# ---------------------------------------------------------------------------
+
+def build_flood_specs(
+    attack: str,
+    schemes: Sequence[str],
+    sweep: Sequence[int],
+    config: Optional[ExperimentConfig] = None,
+) -> List[ScenarioSpec]:
+    """Specs for a Figure 8/9/10-style sweep: scheme × attacker count.
+
+    Figure 9's request floods carry the ``"filtering"`` policy, matching
+    the paper's assumption that the destination refuses attacker
+    requests.
+    """
+    config = config or ExperimentConfig()
+    policy = "filtering" if attack == "request" else "server"
+    return [
+        ScenarioSpec(
+            scheme=scheme,
+            attack=attack,
+            n_attackers=k,
+            seed=config.seed,
+            config=config,
+            policy=policy,
+        )
+        for scheme in schemes
+        for k in sweep
+    ]
+
+
+def build_fig11_spec(
+    scheme_name: str,
+    pattern: str = "all_at_once",
+    n_attackers: int = 100,
+    attack_start: float = 10.0,
+    duration: float = 60.0,
+    config: Optional[ExperimentConfig] = None,
+) -> ScenarioSpec:
+    """The Figure 11 imprecise-policy scenario as a spec.
+
+    See :func:`repro.eval.experiments.run_fig11_imprecise` for the
+    group-lifetime reasoning encoded here.
+    """
+    from ..core.params import DEFAULT_GRANT_BYTES
+
+    if pattern not in ("all_at_once", "staggered"):
+        raise ValueError(f"unknown pattern {pattern!r}")
+    config = replace(config or ExperimentConfig(), duration=duration)
+    groups = 10 if pattern == "staggered" else 1
+    if scheme_name == "siff":
+        group_lifetime = 3.0  # marks die at the next secret rotation
+    else:
+        # 32 KB at the attack rate, plus a little handshake latency.
+        group_lifetime = (
+            DEFAULT_GRANT_BYTES * 8 / config.attack_rate_bps + 0.1
+        )
+    return ScenarioSpec(
+        scheme=scheme_name,
+        attack="authorized",
+        n_attackers=n_attackers,
+        seed=config.seed,
+        config=config,
+        policy="oracle",
+        attack_start=attack_start,
+        attack_groups=groups,
+        group_stagger=group_lifetime if pattern == "staggered" else 0.0,
+        siff_secret_period=3.0,
+        siff_accept_previous=False,
+        # Wide, idealized marks: Figure 11 isolates *expiry* behaviour, and
+        # 2-bit marks would let 1/16 of attackers survive each rotation by
+        # collision (a separate SIFF weakness, studied in the ablations).
+        siff_mark_bits=16,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+class SweepRunner:
+    """Execute scenario specs: cached, multi-process, multi-seed.
+
+    ``jobs=1`` runs every spec in-process, in order — the deterministic
+    reference path.  ``jobs>1`` fans uncached specs out across a
+    ``ProcessPoolExecutor``; the simulator seeds all randomness from the
+    spec, so both paths produce bit-identical results.
+
+    ``progress`` (if given) is called as ``progress(spec, cached)``
+    after each spec completes — the CLI uses it for its stderr ticker.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[Callable[[ScenarioSpec, bool], None]] = None,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs or (os.cpu_count() or 1)
+        self.cache = cache
+        self.progress = progress
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> List[RunResult]:
+        """Run every spec, preserving input order in the result list."""
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        pending: List[int] = []
+        for i, spec in enumerate(specs):
+            hit = self.cache.get(spec.key()) if self.cache else None
+            if hit is not None:
+                results[i] = hit
+                if self.progress:
+                    self.progress(spec, True)
+            else:
+                pending.append(i)
+
+        if pending and (self.jobs == 1 or len(pending) == 1):
+            for i in pending:
+                results[i] = self._finish(specs[i], run_spec(specs[i]))
+        elif pending:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(run_spec, specs[i]): i for i in pending
+                }
+                for future in as_completed(futures):
+                    i = futures[future]
+                    results[i] = self._finish(specs[i], future.result())
+        return results  # type: ignore[return-value]
+
+    def _finish(self, spec: ScenarioSpec, result: RunResult) -> RunResult:
+        if self.cache is not None:
+            self.cache.put(spec.key(), result)
+        if self.progress:
+            self.progress(spec, False)
+        return result
+
+    def run_points(
+        self,
+        specs: Sequence[ScenarioSpec],
+        seeds: int = 1,
+        title: str = "",
+    ) -> SweepResult:
+        """Run each spec under ``seeds`` consecutive seeds and aggregate.
+
+        Replication ``j`` of a point uses ``spec.seed + j``, so seeds
+        stay disjoint per point and the ``seeds=1`` case is exactly the
+        base spec.
+        """
+        if seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        expanded = [
+            spec.with_seed(spec.seed + j) for spec in specs
+            for j in range(seeds)
+        ]
+        runs = self.run(expanded)
+        points = [
+            PointResult.from_runs(runs[i: i + seeds])
+            for i in range(0, len(runs), seeds)
+        ]
+        return SweepResult(
+            title=title,
+            points=points,
+            meta={
+                "jobs": self.jobs,
+                "seeds": seeds,
+                "cached": self.cache is not None,
+                "code_version": CACHE_SALT,
+            },
+        )

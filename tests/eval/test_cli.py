@@ -85,6 +85,60 @@ class TestEndToEnd:
         assert "Figure 12" in capsys.readouterr().out
 
 
+class TestRunnerFlags:
+    """The sweep-runner flags shared by the simulation subcommands."""
+
+    def test_jobs_seeds_json(self, capsys):
+        import json
+
+        rc = main(["fig8", "--schemes", "internet", "--sweep", "1",
+                   "--duration", "4", "--jobs", "1", "--seeds", "2",
+                   "--json", "--no-cache"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["meta"]["seeds"] == 2
+        (point,) = data["points"]
+        assert point["n_seeds"] == 2
+        assert len(point["runs"]) == 2
+
+    def test_parallel_matches_serial(self, tmp_path, capsys):
+        args = ["fig8", "--schemes", "tva,internet", "--sweep", "1,2",
+                "--duration", "4", "--no-cache"]
+        main(args + ["--jobs", "1"])
+        serial = capsys.readouterr().out
+        main(args + ["--jobs", "4"])
+        assert capsys.readouterr().out == serial
+
+    def test_cache_dir_warm_run(self, tmp_path, capsys):
+        args = ["fig9", "--schemes", "tva", "--sweep", "2", "--duration",
+                "4", "--cache-dir", str(tmp_path)]
+        main(args)
+        cold = capsys.readouterr().out
+        assert list(tmp_path.glob("*/*.json"))  # results were cached
+        main(args)
+        assert capsys.readouterr().out == cold
+
+    def test_scenario_json(self, capsys):
+        import json
+
+        rc = main(["scenario", "--scheme", "tva", "--attackers", "1",
+                   "--duration", "4", "--json", "--no-cache"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scheme"] == "tva"
+        assert data["transfers_completed"] > 0
+
+    def test_fig11_json(self, capsys):
+        import json
+
+        rc = main(["fig11", "--scheme", "tva", "--duration", "14",
+                   "--json", "--no-cache"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["pattern"] == "all_at_once"
+        assert data["series"]
+
+
 class TestReport:
     def test_report_writes_markdown(self, tmp_path, capsys):
         out = tmp_path / "r.md"

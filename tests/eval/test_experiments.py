@@ -102,3 +102,51 @@ class TestResultTypes:
 
         with pytest.raises(ValueError):
             run_fig11_imprecise("tva", "sideways")
+
+
+class TestConfigRoundTrip:
+    """ExperimentConfig and FloodResult must survive dict/JSON cycles so
+    cached results compare equal to fresh ones."""
+
+    def test_config_round_trips_through_dict(self):
+        config = ExperimentConfig(duration=7.5, seed=3)
+        clone = ExperimentConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert isinstance(clone.server_grant, tuple)
+
+    def test_config_round_trips_through_json(self):
+        import json
+
+        config = ExperimentConfig()
+        clone = ExperimentConfig.from_dict(json.loads(
+            json.dumps(config.to_dict())))
+        assert clone == config  # server_grant list -> tuple normalization
+
+    def test_config_normalizes_list_grant(self):
+        assert ExperimentConfig(server_grant=[1000, 5]) == \
+            ExperimentConfig(server_grant=(1000, 5))
+
+    def test_flood_result_round_trips(self):
+        import json
+
+        result = FloodResult("tva", "legacy", 10, 1.0, 0.31, 120)
+        clone = FloodResult.from_dict(json.loads(
+            json.dumps(result.to_dict())))
+        assert clone == result
+
+    def test_flood_result_round_trips_none_time(self):
+        result = FloodResult("internet", "legacy", 100, 0.0, None, 5)
+        assert FloodResult.from_dict(result.to_dict()) == result
+
+
+class TestFig11ConfigIsolation:
+    def test_run_fig11_does_not_mutate_callers_config(self):
+        """Regression: run_fig11_imprecise used to write ``duration``
+        into the caller's config in place."""
+        config = ExperimentConfig(duration=15.0, seed=2)
+        from repro.eval import run_fig11_imprecise
+
+        run_fig11_imprecise("tva", "all_at_once", n_attackers=2,
+                            attack_start=1.0, duration=5.0, config=config)
+        assert config.duration == 15.0
+        assert config == ExperimentConfig(duration=15.0, seed=2)
