@@ -228,3 +228,17 @@ class PushbackScheme(SchemeFactory):
         for node in net.nodes:
             if isinstance(node, Router) and node.processor in self.processors.values():
                 node.processor.attach(node)
+
+    def metric_items(self):
+        for name in sorted(self.processors):
+            proc = self.processors[name]
+            prefix = f"router.{name}"
+            yield f"{prefix}.filter_drops", (lambda p=proc: p.filter_drops)
+            yield f"{prefix}.reviews", (lambda p=proc: p.reviews)
+            yield f"{prefix}.congested_reviews", (
+                lambda p=proc: p.congested_reviews
+            )
+            yield f"{prefix}.identification_failures", (
+                lambda p=proc: p.identification_failures
+            )
+            yield f"{prefix}.active_filters", (lambda p=proc: len(p.filters))

@@ -280,6 +280,8 @@ class SiffScheme(SchemeFactory):
     def make_qdisc(self, link_kind: str, bandwidth_bps: float) -> Qdisc:
         data_queue = DropTailQueue(limit_bytes=None, limit_pkts=50)
         low_queue = DropTailQueue(limit_bytes=None, limit_pkts=50)
+        data_queue.label = "data"
+        low_queue.label = "low"
         return PriorityScheduler(
             [
                 (_is_verified_data, data_queue, None),
@@ -312,3 +314,11 @@ class SiffScheme(SchemeFactory):
         )
         self.shims[role] = shim
         return shim
+
+    def metric_items(self):
+        for name in sorted(self.processors):
+            proc = self.processors[name]
+            prefix = f"router.{name}"
+            yield f"{prefix}.marks_issued", (lambda p=proc: p.marks_issued)
+            yield f"{prefix}.data_verified", (lambda p=proc: p.data_verified)
+            yield f"{prefix}.data_dropped", (lambda p=proc: p.data_dropped)

@@ -16,6 +16,10 @@ fans sweep points out across processes (default: all cores), ``--seeds
 N`` replicates each point and reports mean ± 95% CI, ``--json`` emits
 machine-readable results, and results are cached on disk (``--no-cache``
 / ``--cache-dir`` to disable or relocate) so re-runs are near-instant.
+``--metrics`` attaches the deterministic observability layer
+(:mod:`repro.obs`): per-class link utilization, qdisc drops by reason,
+flow-state occupancy, and TCP retransmit series, carried in the JSON
+output and summarized in text mode.
 """
 
 from __future__ import annotations
@@ -84,9 +88,43 @@ def _make_runner(args) -> SweepRunner:
                        progress=ticker)
 
 
+def _metrics_lines(metrics) -> List[str]:
+    """Human summary of one run's observability export."""
+    finals = metrics["finals"]
+    series = metrics["series"]
+
+    def peak(name: str) -> float:
+        return max((v for _, v in series.get(name, ())), default=0.0)
+
+    lines = []
+    for cls in ("request", "regular", "legacy"):
+        lines.append(f"  bottleneck util[{cls:7s}] peak : "
+                     f"{peak(f'link.bottleneck.util.{cls}'):.3f}")
+    drops = finals.get("link.bottleneck.qdisc.drops")
+    if drops is not None:
+        lines.append(f"  bottleneck qdisc drops      : {drops}")
+    demotions = sum(v for name, v in finals.items()
+                    if name.startswith("scheme.router.")
+                    and name.endswith(".demotions"))
+    entry_series = [name for name in series
+                    if name.startswith("scheme.router.")
+                    and name.endswith(".flowstate.entries")]
+    if entry_series:
+        occupancy = max(peak(name) for name in entry_series)
+        lines.append(f"  demotions (all routers)     : {demotions}")
+        lines.append(f"  peak flow-state occupancy   : {occupancy:.0f}")
+    retrans = finals.get("transport.data_retransmits")
+    aborts = finals.get("transport.aborts")
+    if retrans is not None:
+        lines.append(f"  tcp retransmits / aborts    : {retrans} / {aborts}")
+    return lines
+
+
 def _run_flood_figure(args, attack: str, title: str) -> int:
     config = ExperimentConfig(duration=args.duration, seed=args.seed)
-    specs = build_flood_specs(attack, args.schemes, args.sweep, config)
+    specs = build_flood_specs(attack, args.schemes, args.sweep, config,
+                              metrics=args.metrics,
+                              metrics_interval=args.metrics_interval)
     runner = _make_runner(args)
     result = runner.run_points(specs, seeds=args.seeds, title=title)
     print("", file=sys.stderr)
@@ -128,10 +166,12 @@ def _sparkline(series, t_max: float, buckets: int = 60) -> str:
 def _cmd_fig11(args) -> int:
     result = run_fig11_imprecise(args.scheme, args.pattern,
                                  duration=args.duration,
-                                 runner=_make_runner(args))
+                                 runner=_make_runner(args),
+                                 metrics=args.metrics,
+                                 metrics_interval=args.metrics_interval)
     print("", file=sys.stderr)
     if args.json:
-        print(json.dumps({
+        payload = {
             "scheme": result.scheme,
             "pattern": result.pattern,
             "attack_start": result.attack_start,
@@ -140,7 +180,10 @@ def _cmd_fig11(args) -> int:
             "effective_attack_seconds": result.effective_attack_seconds(),
             "completion_gaps": result.completion_gaps(),
             "series": result.series,
-        }, indent=2))
+        }
+        if result.metrics is not None:
+            payload["metrics"] = result.metrics
+        print(json.dumps(payload, indent=2))
         return 0
     print(f"Figure 11 — {args.scheme}, {args.pattern} "
           f"(attack starts at t=10 s)")
@@ -151,6 +194,10 @@ def _cmd_fig11(args) -> int:
     print(f"  completion gaps     : {gaps}")
     print(f"  transfer-time sketch (0..{args.duration:.0f} s, darker = slower):")
     print(f"  [{_sparkline(result.series, args.duration)}]")
+    if result.metrics is not None:
+        print("  metrics:")
+        for line in _metrics_lines(result.metrics):
+            print(f"  {line}")
     return 0
 
 
@@ -179,10 +226,12 @@ def _cmd_fig12(args) -> int:
 
 
 def _cmd_scenario(args) -> int:
-    config = ExperimentConfig(duration=args.duration, seed=args.seed)
+    config = ExperimentConfig(duration=args.duration, seed=args.seed,
+                              regular_qdisc=args.regular_qdisc)
     spec = ScenarioSpec(scheme=args.scheme, attack=args.attack,
                         n_attackers=args.attackers, seed=args.seed,
-                        config=config)
+                        config=config, metrics=args.metrics,
+                        metrics_interval=args.metrics_interval)
     (run,) = _make_runner(args).run([spec])
     print("", file=sys.stderr)
     if args.json:
@@ -195,6 +244,10 @@ def _cmd_scenario(args) -> int:
     print(f"  avg transfer time   : "
           f"{'-' if avg is None else f'{avg:.2f} s'}")
     print(f"  transfers completed : {run.transfers_completed}")
+    if run.metrics is not None:
+        print("metrics:")
+        for line in _metrics_lines(run.metrics):
+            print(line)
     return 0
 
 
@@ -215,11 +268,14 @@ def _cmd_report(args) -> int:
     specs: List[ScenarioSpec] = []
     for attack, _ in figures:
         specs.extend(build_flood_specs(attack, args.schemes, args.sweep,
-                                       config))
+                                       config, metrics=args.metrics,
+                                       metrics_interval=args.metrics_interval))
     fig11_cases = [(scheme, pattern) for scheme in ("tva", "siff")
                    for pattern in ("all_at_once", "staggered")]
     specs.extend(build_fig11_spec(scheme, pattern,
-                                  duration=args.fig11_duration)
+                                  duration=args.fig11_duration,
+                                  metrics=args.metrics,
+                                  metrics_interval=args.metrics_interval)
                  for scheme, pattern in fig11_cases)
     sweep_result = runner.run_points(specs, seeds=args.seeds,
                                      title="TVA reproduction report")
@@ -256,6 +312,43 @@ def _cmd_report(args) -> int:
         lines.append(f"| {scheme} | {pattern} | "
                      f"{result.max_transfer_time():.2f} | {gaps or '-'} |")
     lines.append("")
+
+    if args.metrics:
+        lines += ["## Metrics — deterministic observability (`repro.obs`)",
+                  "",
+                  "Peak per-interval bottleneck utilization by traffic "
+                  "class (Figure 2's output classes), peak flow-state "
+                  "occupancy (the Section 3.6 bound), and total demotions, "
+                  "from the seed-0 run of each point.", "",
+                  "| figure | scheme | k | util req | util reg | util leg "
+                  "| peak flow state | demotions |",
+                  "|---|---|---|---|---|---|---|---|"]
+        for index, (attack, _) in enumerate(figures):
+            for point in runs[index * per_figure:(index + 1) * per_figure]:
+                m = point.runs[0].metrics
+                if m is None:
+                    continue
+                series = m["series"]
+                peaks = [
+                    max((v for _, v in
+                         series.get(f"link.bottleneck.util.{cls}", ())),
+                        default=0.0)
+                    for cls in ("request", "regular", "legacy")
+                ]
+                occupancy = max(
+                    (max((v for _, v in points_), default=0.0)
+                     for name, points_ in series.items()
+                     if name.endswith(".flowstate.entries")),
+                    default=0.0)
+                demotions = sum(
+                    v for name, v in m["finals"].items()
+                    if name.startswith("scheme.router.")
+                    and name.endswith(".demotions"))
+                lines.append(
+                    f"| {attack} | {point.scheme} | {point.n_attackers} "
+                    f"| {peaks[0]:.3f} | {peaks[1]:.3f} | {peaks[2]:.3f} "
+                    f"| {occupancy:.0f} | {demotions} |")
+        lines.append("")
 
     costs = measure_processing_costs(packets_per_kind=args.packets)
     lines += ["## Table 1 — processing cost", "", "```",
@@ -296,6 +389,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="cache directory (default: $REPRO_CACHE_DIR "
                             "or ~/.cache/repro)")
+        p.add_argument("--metrics", action="store_true",
+                       help="record deterministic metric time series "
+                            "(per-class utilization, drops by reason, "
+                            "flow-state occupancy, TCP retransmits)")
+        p.add_argument("--metrics-interval", type=float, default=0.5,
+                       metavar="SEC",
+                       help="sampling interval in simulated seconds "
+                            "(default: 0.5)")
 
     def add_flood(name, fn, help_text):
         p = sub.add_parser(name, help=help_text)
@@ -353,6 +454,9 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--attackers", type=int, default=10)
     ps.add_argument("--duration", type=float, default=15.0)
     ps.add_argument("--seed", type=int, default=1)
+    ps.add_argument("--regular-qdisc", choices=("drr", "sfq"), default="drr",
+                    help="fair queuing for TVA's regular class: per-key "
+                         "DRR (the paper) or hashed SFQ (Section 3.9)")
     add_runner_flags(ps, seeds=False)
     ps.set_defaults(fn=_cmd_scenario)
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from ..obs.metrics import Counter
 from .capability import Capability
 from .params import TvaParams
 
@@ -77,13 +78,39 @@ class FlowStateTable:
         self.params = params or TvaParams()
         self._entries: Dict[Hashable, FlowEntry] = {}
         self._expiry_heap: List[Tuple[float, Hashable]] = []
-        # Counters for tests and ops visibility.
-        self.created_total = 0
-        self.reclaimed_total = 0
-        self.create_failures = 0
+        # Counters for tests, ops visibility, and the obs registry.
+        self._created = Counter("created_total")
+        self._reclaimed = Counter("reclaimed_total")
+        self._create_failures = Counter("create_failures")
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def created_total(self) -> int:
+        return self._created.value
+
+    @property
+    def reclaimed_total(self) -> int:
+        return self._reclaimed.value
+
+    @property
+    def create_failures(self) -> int:
+        return self._create_failures.value
+
+    @property
+    def heap_size(self) -> int:
+        """Size of the lazy expiry heap — bounded relative to live
+        entries by :meth:`_compact_heap`, and exported as an obs gauge so
+        regressions are visible in any metrics run."""
+        return len(self._expiry_heap)
+
+    def metric_counters(self) -> Dict[str, Counter]:
+        return {
+            "created": self._created,
+            "reclaimed": self._reclaimed,
+            "create_failures": self._create_failures,
+        }
 
     # ------------------------------------------------------------------
     def lookup(self, flow: Hashable, now: float) -> Optional[FlowEntry]:
@@ -95,7 +122,7 @@ class FlowStateTable:
             return None
         if entry.expired(now):
             del self._entries[flow]
-            self.reclaimed_total += 1
+            self._reclaimed.inc()
             return None
         return entry
 
@@ -116,11 +143,11 @@ class FlowStateTable:
         if len(self._entries) >= self.capacity and flow not in self._entries:
             self._reclaim(now)
             if len(self._entries) >= self.capacity:
-                self.create_failures += 1
+                self._create_failures.inc()
                 return None
         entry = FlowEntry(flow, nonce, capability, n_bytes, t_seconds, now)
         self._entries[flow] = entry
-        self.created_total += 1
+        self._created.inc()
         return entry
 
     def replace(
@@ -152,12 +179,43 @@ class FlowStateTable:
         delta = nbytes * entry.t_seconds / entry.n_bytes
         entry.ttl_expiry = max(entry.ttl_expiry, now) + delta
         heapq.heappush(self._expiry_heap, (entry.ttl_expiry, entry.flow))
+        self._compact_heap()
         return True
 
     def remove(self, flow: Hashable) -> None:
         """Explicitly drop a record (used by benches and by tests that
         exercise cache-miss paths deterministically)."""
         self._entries.pop(flow, None)
+
+    #: Heap compaction thresholds: never rebuild below the floor (tiny
+    #: heaps are cheap), otherwise rebuild once the heap exceeds this
+    #: multiple of the live entry count.
+    _HEAP_FLOOR = 64
+    _HEAP_RATIO = 4
+
+    def _compact_heap(self) -> None:
+        """Keep ``_expiry_heap`` proportional to live entries.
+
+        Lazy deletion means every ttl extension leaves a stale heap entry
+        behind; without compaction the heap grows O(charged packets) over
+        a long run.  Two cheap measures bound it: pop stale *heads* (an
+        O(1) amortized nibble that keeps the heap front honest), and when
+        staleness still wins — more than ``_HEAP_RATIO`` heap entries per
+        live record — rebuild from the live table in one O(n) pass.
+        """
+        heap = self._expiry_heap
+        while heap:
+            expiry, flow = heap[0]
+            entry = self._entries.get(flow)
+            if entry is not None and entry.ttl_expiry == expiry:
+                break
+            heapq.heappop(heap)
+        if len(heap) > max(self._HEAP_FLOOR, self._HEAP_RATIO * len(self._entries)):
+            # Dict iteration order is insertion order, so the rebuilt heap
+            # is identical across processes and hash seeds.
+            rebuilt = [(e.ttl_expiry, f) for f, e in self._entries.items()]
+            heapq.heapify(rebuilt)
+            self._expiry_heap = rebuilt
 
     # ------------------------------------------------------------------
     def _reclaim(self, now: float) -> None:
@@ -168,11 +226,11 @@ class FlowStateTable:
             entry = self._entries.get(flow)
             if entry is not None and entry.expired(now):
                 del self._entries[flow]
-                self.reclaimed_total += 1
+                self._reclaimed.inc()
         # Entries that were never charged have no heap presence; sweep them
         # only if the heap alone freed nothing (rare).
         if len(self._entries) >= self.capacity:
             dead = [f for f, e in self._entries.items() if e.expired(now)]
             for flow in dead:
                 del self._entries[flow]
-                self.reclaimed_total += 1
+                self._reclaimed.inc()

@@ -16,8 +16,9 @@ traffic.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
+from ..obs.metrics import Counter
 from ..sim.link import Link
 from ..sim.node import Router, RouterProcessor
 from ..sim.packet import Packet
@@ -55,13 +56,49 @@ class TvaRouterCore:
         self.state = state
         self.trust_boundary = trust_boundary
         self.params = params or TvaParams()
-        # Counters mirrored in EXPERIMENTS.md sanity checks.
-        self.requests_processed = 0
-        self.regular_validated = 0
-        self.regular_cached = 0
-        self.renewals = 0
-        self.demotions = 0
-        self.restarts = 0
+        # Counters mirrored in EXPERIMENTS.md sanity checks; external
+        # readers see ints via the properties below, the obs registry
+        # binds the Counter objects via metric_counters().
+        self._requests_processed = Counter("requests_processed")
+        self._regular_validated = Counter("regular_validated")
+        self._regular_cached = Counter("regular_cached")
+        self._renewals = Counter("renewals")
+        self._demotions = Counter("demotions")
+        self._restarts = Counter("restarts")
+
+    @property
+    def requests_processed(self) -> int:
+        return self._requests_processed.value
+
+    @property
+    def regular_validated(self) -> int:
+        return self._regular_validated.value
+
+    @property
+    def regular_cached(self) -> int:
+        return self._regular_cached.value
+
+    @property
+    def renewals(self) -> int:
+        return self._renewals.value
+
+    @property
+    def demotions(self) -> int:
+        return self._demotions.value
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts.value
+
+    def metric_counters(self) -> Dict[str, Counter]:
+        return {
+            "requests_processed": self._requests_processed,
+            "regular_validated": self._regular_validated,
+            "regular_cached": self._regular_cached,
+            "renewals": self._renewals,
+            "demotions": self._demotions,
+            "restarts": self._restarts,
+        }
 
     # ------------------------------------------------------------------
     def restart(self, now: float, new_seed: bytes = b"") -> None:
@@ -72,7 +109,7 @@ class TvaRouterCore:
         die with it.  In-flight flows are demoted until their senders
         re-acquire capabilities; the demotion-echo path recovers them.
         """
-        self.restarts += 1
+        self._restarts.inc()
         self.state = FlowStateTable(self.state.capacity, self.params)
         if new_seed:
             self.secrets = SecretManager(new_seed, period=self.secrets.period)
@@ -141,7 +178,7 @@ class TvaRouterCore:
     ) -> int:
         """Stamp a request: path identifier at trust boundaries, then our
         pre-capability (Section 4.3)."""
-        self.requests_processed += 1
+        self._requests_processed.inc()
         added = 0
         if self.trust_boundary and ingress_id is not None:
             shim.path_ids.append(interface_tag(self.name, ingress_id))
@@ -169,7 +206,7 @@ class TvaRouterCore:
                 # Common case: nonce matches the cached flow.
                 is_valid = self.state.charge(entry, size, now)
                 if is_valid:
-                    self.regular_cached += 1
+                    self._regular_cached.inc()
             elif my_cap is not None:
                 # First packet with a renewed capability: check and replace.
                 entry = self._validate_and_install(
@@ -182,7 +219,7 @@ class TvaRouterCore:
                 is_valid = entry is not None and self.state.charge(entry, size, now)
 
         if not is_valid:
-            self.demotions += 1
+            self._demotions.inc()
             shim.demoted = True
             return LEGACY, 0
 
@@ -193,7 +230,7 @@ class TvaRouterCore:
             shim.new_precapabilities.append(
                 mint_precapability(self.secrets, src, dst, now)
             )
-            self.renewals += 1
+            self._renewals.inc()
             added = RENEWAL_BYTES_PER_HOP
         return REGULAR, added
 
@@ -212,7 +249,7 @@ class TvaRouterCore:
             self.secrets, src, dst, cap, shim.n_bytes, shim.t_seconds, now
         ):
             return None
-        self.regular_validated += 1
+        self._regular_validated.inc()
         if replace is not None:
             return self.state.replace(
                 replace, shim.flow_nonce, cap, shim.n_bytes, shim.t_seconds, now

@@ -14,11 +14,18 @@ Each outgoing link of a TVA router schedules three classes:
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..sim.node import HostShim, RouterProcessor
 from ..sim.packet import Packet
-from ..sim.queues import DropTailQueue, DRRFairQueue, PriorityScheduler, Qdisc, TokenBucket
+from ..sim.queues import (
+    DropTailQueue,
+    DRRFairQueue,
+    PriorityScheduler,
+    Qdisc,
+    StochasticFairQueue,
+    TokenBucket,
+)
 from ..sim.topology import SchemeFactory
 from .flowstate import FlowStateTable
 from .header import RegularHeader, RequestHeader
@@ -83,9 +90,13 @@ class TvaScheme(SchemeFactory):
         regular_queue_key: str = "destination",
         request_fair_queue: bool = True,
         infer_dead_caps: bool = True,
+        regular_qdisc: str = "drr",
+        sfq_buckets: int = 64,
     ) -> None:
         if regular_queue_key not in ("destination", "source"):
             raise ValueError("regular_queue_key must be 'destination' or 'source'")
+        if regular_qdisc not in ("drr", "sfq"):
+            raise ValueError("regular_qdisc must be 'drr' or 'sfq'")
         self.params = params or TvaParams(request_fraction=request_fraction)
         self.request_fraction = request_fraction
         self.destination_policy = destination_policy or default_server_policy
@@ -100,6 +111,11 @@ class TvaScheme(SchemeFactory):
         self.request_fair_queue = request_fair_queue
         #: Section 3.8 dead-capability inference for honest-role shims.
         self.infer_dead_caps = infer_dead_caps
+        #: Fair queuing for the regular class: per-key DRR (the paper's
+        #: design) or SFQ hashing onto ``sfq_buckets`` queues (the
+        #: Section 3.9 alternative the paper argues against).
+        self.regular_qdisc = regular_qdisc
+        self.sfq_buckets = sfq_buckets
         self.rng = random.Random(seed)
         self.router_cores: Dict[str, TvaRouterCore] = {}
         self.shims: Dict[str, TvaHostShim] = {}
@@ -120,13 +136,24 @@ class TvaScheme(SchemeFactory):
         regular_key = (
             _destination_key if self.regular_queue_key == "destination" else _source_key
         )
-        regular_queue = DRRFairQueue(
-            key_fn=regular_key,
-            limit_bytes_per_queue=max(16_000, legacy_limit // 2),
-            max_queues=4096,
-            quantum=1500,
-        )
+        if self.regular_qdisc == "sfq":
+            regular_queue: Qdisc = StochasticFairQueue(
+                key_fn=regular_key,
+                n_buckets=self.sfq_buckets,
+                limit_bytes_per_queue=max(16_000, legacy_limit // 2),
+                quantum=1500,
+            )
+        else:
+            regular_queue = DRRFairQueue(
+                key_fn=regular_key,
+                limit_bytes_per_queue=max(16_000, legacy_limit // 2),
+                max_queues=4096,
+                quantum=1500,
+            )
         legacy_queue = DropTailQueue(limit_bytes=None, limit_pkts=50)
+        request_queue.label = "request"
+        regular_queue.label = "regular"
+        legacy_queue.label = "legacy"
         return PriorityScheduler(
             [
                 (_is_request, request_queue, request_bucket),
@@ -173,3 +200,28 @@ class TvaScheme(SchemeFactory):
         )
         self.shims[role] = shim
         return shim
+
+    # ------------------------------------------------------------------
+    def metric_items(self) -> Iterable[Tuple[str, Callable[[], float]]]:
+        """TVA's router pipeline counters and flow-state occupancy.
+
+        Gauges close over the *core*, not its current table —
+        ``restart()`` swaps the table out, and occupancy must track the
+        live one.
+        """
+        for name in sorted(self.router_cores):
+            core = self.router_cores[name]
+            prefix = f"router.{name}"
+            for cname, counter in sorted(core.metric_counters().items()):
+                yield f"{prefix}.{cname}", (lambda c=counter: c.value)
+            yield f"{prefix}.flowstate.entries", (lambda c=core: len(c.state))
+            yield f"{prefix}.flowstate.heap", (lambda c=core: c.state.heap_size)
+            yield f"{prefix}.flowstate.created", (
+                lambda c=core: c.state.created_total
+            )
+            yield f"{prefix}.flowstate.reclaimed", (
+                lambda c=core: c.state.reclaimed_total
+            )
+            yield f"{prefix}.flowstate.create_failures", (
+                lambda c=core: c.state.create_failures
+            )

@@ -29,6 +29,7 @@ from ..core.params import (
 )
 from ..sim import Simulator, TransferLog, build_dumbbell
 from ..transport import CbrFlood, PacketSink, RepeatingTransferClient, TcpListener
+from ..transport.tcp import TcpStats
 
 SCHEMES = ("tva", "siff", "pushback", "internet")
 
@@ -56,6 +57,9 @@ class ExperimentConfig:
     seed: int = 1
     request_fraction: float = REQUEST_FRACTION_SIM  # 1%: "to stress our design"
     server_grant: tuple = (SERVER_GRANT_BYTES, SERVER_GRANT_SECONDS)
+    #: Fair queuing for TVA's regular class: "drr" (the paper's design) or
+    #: "sfq" (the Section 3.9 hashed-bucket alternative).
+    regular_qdisc: str = "drr"
 
     def __post_init__(self) -> None:
         # JSON turns tuples into lists; normalize so equality survives.
@@ -112,6 +116,7 @@ def make_scheme(
             request_fraction=config.request_fraction,
             destination_policy=policy,
             seed=config.seed,
+            regular_qdisc=config.regular_qdisc,
         )
     if name == "siff":
         policy = destination_policy or (
@@ -147,8 +152,14 @@ def run_flood_scenario(
     siff_secret_period: Optional[float] = None,
     siff_accept_previous: bool = True,
     siff_mark_bits: int = 2,
+    observer=None,
 ) -> TransferLog:
     """Run one dumbbell scenario and return the users' transfer log.
+
+    ``observer`` is an optional
+    :class:`~repro.obs.instrument.Observation`; when given it is
+    installed on the built network before the simulation starts and
+    records deterministic metric series alongside the transfer log.
 
     ``attack`` selects the flood class:
 
@@ -184,6 +195,7 @@ def run_flood_scenario(
     PacketSink(net.destination, "cbr")
     if net.colluder is not None:
         PacketSink(net.colluder, "cbr")
+    tcp_stats = TcpStats()
     rng = random.Random(config.seed)
     for i, user in enumerate(net.users):
         RepeatingTransferClient(
@@ -195,6 +207,7 @@ def run_flood_scenario(
             log=log,
             start_at=rng.uniform(0.0, 0.3),
             stop_at=config.duration,
+            tcp_stats=tcp_stats,
         )
 
     if attack == "colluder":
@@ -224,6 +237,8 @@ def run_flood_scenario(
             jitter=0.3,
             rng=random.Random(config.seed * 1000 + i),
         )
+    if observer is not None:
+        observer.install(sim, net, scheme, tcp_stats)
     sim.run(until=config.duration)
     return log
 
@@ -301,6 +316,9 @@ class Fig11Result:
     pattern: str
     series: List[tuple] = field(default_factory=list)  # (start, duration)
     attack_start: float = 10.0
+    #: Observability export of the underlying run (``None`` unless the
+    #: scenario was run with metrics enabled).
+    metrics: Optional[Dict] = None
 
     def max_transfer_time(self) -> float:
         return max((d for _, d in self.series), default=0.0)
@@ -342,6 +360,8 @@ def run_fig11_imprecise(
     duration: float = 60.0,
     config: Optional[ExperimentConfig] = None,
     runner=None,
+    metrics: bool = False,
+    metrics_interval: float = 0.5,
 ) -> Fig11Result:
     """Figure 11: the destination initially grants everyone 32 KB / 10 s,
     then never renews the attackers.  ``pattern`` is ``all_at_once`` (all
@@ -368,6 +388,8 @@ def run_fig11_imprecise(
         attack_start=attack_start,
         duration=duration,
         config=config,
+        metrics=metrics,
+        metrics_interval=metrics_interval,
     )
     runner = runner or SweepRunner(jobs=1)
     (run,) = runner.run([spec])
@@ -376,6 +398,7 @@ def run_fig11_imprecise(
         pattern=pattern,
         series=[tuple(point) for point in run.time_series],
         attack_start=attack_start,
+        metrics=run.metrics,
     )
 
 

@@ -46,6 +46,25 @@ def t95(dof: int) -> float:
     return _T95[1]
 
 
+def normalize_metrics(metrics: Optional[Dict]) -> Optional[Dict]:
+    """Canonicalize a metrics export for value equality.
+
+    JSON turns the series' tuples into lists; restoring tuples here makes
+    a cache-reloaded :class:`RunResult` compare equal to a fresh one —
+    the same convention ``time_series`` follows.
+    """
+    if metrics is None:
+        return None
+    return {
+        "interval": metrics.get("interval"),
+        "finals": dict(metrics.get("finals", {})),
+        "series": {
+            name: tuple(tuple(point) for point in points)
+            for name, points in metrics.get("series", {}).items()
+        },
+    }
+
+
 def _mean_stdev_ci(values: Sequence[float]) -> Tuple[float, float, float]:
     n = len(values)
     mean = sum(values) / n
@@ -75,6 +94,10 @@ class RunResult:
     transfers_completed: int
     time_series: Tuple[Tuple[float, float], ...] = ()
     spec_key: str = ""
+    #: Optional observability export (``repro.obs``): ``{"interval",
+    #: "finals", "series"}`` as produced by ``Observation.export()``.
+    #: ``None`` when the run was not instrumented.
+    metrics: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -85,6 +108,7 @@ class RunResult:
         data["time_series"] = tuple(
             tuple(point) for point in data.get("time_series", ())
         )
+        data["metrics"] = normalize_metrics(data.get("metrics"))
         return cls(**data)
 
     def to_flood_result(self):

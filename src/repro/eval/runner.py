@@ -34,12 +34,14 @@ from typing import Callable, List, Optional, Sequence
 from .. import __version__
 from .cache import ResultCache
 from .experiments import ExperimentConfig, run_flood_scenario
-from .results import PointResult, RunResult, SweepResult
+from .results import PointResult, RunResult, SweepResult, normalize_metrics
 
 #: Salt mixed into every cache key.  Bump the suffix whenever the
 #: simulator's observable behaviour changes without a version bump, so
 #: stale cached results can never satisfy a new code base.
-CACHE_SALT = f"repro-runner-v1:{__version__}"
+#: v2: queue/flow-state bug batch (stable SFQ hashing, DRR slot leak,
+#: expiry-heap compaction) + metrics-aware results.
+CACHE_SALT = f"repro-runner-v2:{__version__}"
 
 #: Destination-policy names a spec may carry (see ``_policy_factory``).
 POLICIES = ("server", "filtering", "oracle")
@@ -73,12 +75,19 @@ class ScenarioSpec:
     siff_secret_period: Optional[float] = None
     siff_accept_previous: bool = True
     siff_mark_bits: int = 2
+    #: Attach the ``repro.obs`` observability layer to this run and carry
+    #: its export on the resulting :class:`RunResult`.  Part of the cache
+    #: key: an instrumented run is a different (strict superset) result.
+    metrics: bool = False
+    metrics_interval: float = 0.5
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
             raise ValueError(
                 f"unknown policy {self.policy!r}; choose from {POLICIES}"
             )
+        if self.metrics_interval <= 0:
+            raise ValueError("metrics_interval must be positive")
 
     def canonical(self) -> dict:
         """The spec as plain data, independent of field ordering."""
@@ -131,6 +140,11 @@ def run_spec(spec: ScenarioSpec) -> RunResult:
     thing shipped to the worker is the spec itself.
     """
     config = replace(spec.config, seed=spec.seed)
+    observer = None
+    if spec.metrics:
+        from ..obs.instrument import Observation
+
+        observer = Observation(interval=spec.metrics_interval)
     log = run_flood_scenario(
         spec.scheme,
         spec.attack,
@@ -143,8 +157,10 @@ def run_spec(spec: ScenarioSpec) -> RunResult:
         siff_secret_period=spec.siff_secret_period,
         siff_accept_previous=spec.siff_accept_previous,
         siff_mark_bits=spec.siff_mark_bits,
+        observer=observer,
     )
     horizon = max(0.0, config.duration - 2.0)
+    metrics = normalize_metrics(observer.export()) if observer else None
     return RunResult(
         scheme=spec.scheme,
         attack=spec.attack,
@@ -156,6 +172,7 @@ def run_spec(spec: ScenarioSpec) -> RunResult:
         transfers_completed=log.completed,
         time_series=tuple(tuple(point) for point in log.time_series()),
         spec_key=spec.key(),
+        metrics=metrics,
     )
 
 
@@ -168,6 +185,8 @@ def build_flood_specs(
     schemes: Sequence[str],
     sweep: Sequence[int],
     config: Optional[ExperimentConfig] = None,
+    metrics: bool = False,
+    metrics_interval: float = 0.5,
 ) -> List[ScenarioSpec]:
     """Specs for a Figure 8/9/10-style sweep: scheme × attacker count.
 
@@ -185,6 +204,8 @@ def build_flood_specs(
             seed=config.seed,
             config=config,
             policy=policy,
+            metrics=metrics,
+            metrics_interval=metrics_interval,
         )
         for scheme in schemes
         for k in sweep
@@ -198,6 +219,8 @@ def build_fig11_spec(
     attack_start: float = 10.0,
     duration: float = 60.0,
     config: Optional[ExperimentConfig] = None,
+    metrics: bool = False,
+    metrics_interval: float = 0.5,
 ) -> ScenarioSpec:
     """The Figure 11 imprecise-policy scenario as a spec.
 
@@ -233,6 +256,8 @@ def build_fig11_spec(
         # 2-bit marks would let 1/16 of attackers survive each rotation by
         # collision (a separate SIFF weakness, studied in the ablations).
         siff_mark_bits=16,
+        metrics=metrics,
+        metrics_interval=metrics_interval,
     )
 
 
@@ -324,10 +349,12 @@ class SweepRunner:
         return SweepResult(
             title=title,
             points=points,
+            # Only facts that describe *what* was computed belong here:
+            # execution strategy (job count, cache use) must not leak into
+            # the payload, or the bit-identical-across---jobs guarantee —
+            # and with it cache/JSON comparisons — would break.
             meta={
-                "jobs": self.jobs,
                 "seeds": seeds,
-                "cached": self.cache is not None,
                 "code_version": CACHE_SALT,
             },
         )

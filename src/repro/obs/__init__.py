@@ -1,0 +1,15 @@
+"""Deterministic observability for the simulator.
+
+Import surface is deliberately narrow: this package's primitives
+(:class:`Counter`, :class:`MetricRegistry`, :class:`Sampler`) have no
+dependency on ``repro.sim`` or ``repro.core``, so component modules can
+import them freely.  The network-aware wiring lives in
+:mod:`repro.obs.instrument` and must be imported explicitly
+(``from repro.obs.instrument import Observation``) — it pulls in core
+and scheme modules and would otherwise create an import cycle.
+"""
+
+from .metrics import Counter, MetricRegistry, MetricValue
+from .sampler import Sampler
+
+__all__ = ["Counter", "MetricRegistry", "MetricValue", "Sampler"]

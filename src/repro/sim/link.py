@@ -13,8 +13,9 @@ discipline promises readiness via ``next_ready``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
+from ..obs.metrics import Counter
 from .engine import Event, Simulator
 from .packet import Packet
 from .queues import Qdisc
@@ -54,9 +55,43 @@ class Link:
         self.boundary_ingress = False
         self._busy = False
         self._poll_event: Optional[Event] = None
-        # Counters for utilization traces.
-        self.tx_packets = 0
-        self.tx_bytes = 0
+        # Counters for utilization traces; external readers see ints via
+        # the properties below.
+        self._tx_packets = Counter("tx_packets")
+        self._tx_bytes = Counter("tx_bytes")
+        #: Optional packet -> class-name callback.  ``None`` (the default)
+        #: keeps the transmit path classification-free; the observability
+        #: layer sets it for instrumented links only, so per-class
+        #: accounting costs nothing when metrics are off.
+        self.classify: Optional[Callable[[Packet], str]] = None
+        self._class_bytes: Dict[str, Counter] = {}
+
+    @property
+    def tx_packets(self) -> int:
+        return self._tx_packets.value
+
+    @property
+    def tx_bytes(self) -> int:
+        return self._tx_bytes.value
+
+    @property
+    def tx_bytes_counter(self) -> Counter:
+        return self._tx_bytes
+
+    def class_counter(self, cls: str) -> Counter:
+        """Get-or-create the transmitted-bytes counter for a traffic class.
+
+        The instrumenter pre-creates one per class before the run starts,
+        so every counter exists for the registry even if its class never
+        transmits."""
+        counter = self._class_bytes.get(cls)
+        if counter is None:
+            counter = Counter(f"tx_bytes.{cls}")
+            self._class_bytes[cls] = counter
+        return counter
+
+    def metric_counters(self) -> Dict[str, Counter]:
+        return {"tx_packets": self._tx_packets, "tx_bytes": self._tx_bytes}
 
     # ------------------------------------------------------------------
     def send(self, pkt: Packet) -> bool:
@@ -87,8 +122,10 @@ class Link:
             return
         self._busy = True
         tx_time = pkt.size * 8.0 / self.bandwidth_bps
-        self.tx_packets += 1
-        self.tx_bytes += pkt.size
+        self._tx_packets.inc()
+        self._tx_bytes.inc(pkt.size)
+        if self.classify is not None:
+            self.class_counter(self.classify(pkt)).inc(pkt.size)
         self.sim.after(tx_time, self._tx_done, pkt)
 
     def _poll(self) -> None:

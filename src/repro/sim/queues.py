@@ -18,23 +18,61 @@ undequeuable backlog will become ready (used by rate-limited classes).
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict, deque
 from typing import Callable, Deque, Dict, Hashable, List, Optional
 
+from ..obs.metrics import Counter
 from .packet import Packet
 
 
 class Qdisc:
-    """Interface shared by all queue disciplines."""
+    """Interface shared by all queue disciplines.
+
+    Drop accounting is :class:`~repro.obs.metrics.Counter`-backed and
+    broken down by reason (each subclass declares its ``DROP_REASONS``);
+    external readers see plain ints through the ``drops``/``drop_bytes``
+    properties, while the observability layer registers the counter
+    objects via :meth:`metric_counters`.
+    """
+
+    #: Reason labels this discipline can drop for; the first is the
+    #: default when ``_account_drop`` is called without one.
+    DROP_REASONS: tuple = ()
 
     def __init__(self) -> None:
         self.backlog_bytes = 0
         self.backlog_pkts = 0
-        self.drops = 0
-        self.drop_bytes = 0
+        self._drops = Counter("drops")
+        self._drop_bytes = Counter("drop_bytes")
+        self._drop_reasons: Dict[str, Counter] = {
+            reason: Counter(f"drops.{reason}") for reason in self.DROP_REASONS
+        }
+        #: Label used by the observability layer to name this discipline
+        #: inside a scheduler hierarchy (e.g. "request", "regular").
+        self.label: str = ""
         #: Optional callback invoked with each dropped packet; pushback's
         #: aggregate detection feeds on this.
         self.drop_hook: Optional[Callable[[Packet], None]] = None
+
+    @property
+    def drops(self) -> int:
+        return self._drops.value
+
+    @property
+    def drop_bytes(self) -> int:
+        return self._drop_bytes.value
+
+    @property
+    def drop_reasons(self) -> Dict[str, int]:
+        return {reason: c.value for reason, c in self._drop_reasons.items()}
+
+    def metric_counters(self) -> Dict[str, Counter]:
+        """This discipline's counters, keyed by metric suffix."""
+        out = {"drops": self._drops, "drop_bytes": self._drop_bytes}
+        for reason, counter in self._drop_reasons.items():
+            out[f"drops.{reason}"] = counter
+        return out
 
     # -- subclass API ---------------------------------------------------
     def enqueue(self, pkt: Packet) -> bool:
@@ -58,9 +96,13 @@ class Qdisc:
         self.backlog_bytes -= pkt.size
         self.backlog_pkts -= 1
 
-    def _account_drop(self, pkt: Packet) -> None:
-        self.drops += 1
-        self.drop_bytes += pkt.size
+    def _account_drop(self, pkt: Packet, reason: Optional[str] = None) -> None:
+        self._drops.inc()
+        self._drop_bytes.inc(pkt.size)
+        if reason is None and self.DROP_REASONS:
+            reason = self.DROP_REASONS[0]
+        if reason is not None:
+            self._drop_reasons[reason].inc()
         if self.drop_hook is not None:
             self.drop_hook(pkt)
 
@@ -71,6 +113,8 @@ class DropTailQueue(Qdisc):
     The limit can be in packets (ns-2's default DropTail style, used by the
     legacy-Internet baseline so large flood packets and small TCP control
     packets face the same loss rate) or in bytes, or both."""
+
+    DROP_REASONS = ("tail",)
 
     def __init__(
         self,
@@ -120,6 +164,8 @@ class DRRFairQueue(Qdisc):
     deficit per round, the standard DRR algorithm of Shreedhar & Varghese.
     """
 
+    DROP_REASONS = ("overflow", "no_slot")
+
     def __init__(
         self,
         key_fn: Callable[[Packet], Hashable],
@@ -151,7 +197,16 @@ class DRRFairQueue(Qdisc):
         queue = self._queues.get(key)
         if queue is None:
             if len(self._queues) >= self.max_queues:
-                self._account_drop(pkt)
+                self._account_drop(pkt, "no_slot")
+                return False
+            if pkt.size > self.limit_bytes_per_queue:
+                # Reject before registering: an accepted-never first packet
+                # must not leave behind an empty queue.  A drained scheduler
+                # only retires queues on dequeue, so registering first would
+                # let a flood of oversized packets with distinct keys pin
+                # all max_queues slots permanently — state exhaustion inside
+                # the DoS defense itself.
+                self._account_drop(pkt, "overflow")
                 return False
             queue = deque()
             self._queues[key] = queue
@@ -159,8 +214,8 @@ class DRRFairQueue(Qdisc):
             self._deficit[key] = 0
             self._topped[key] = False
             self._round.append(key)
-        if self._bytes[key] + pkt.size > self.limit_bytes_per_queue:
-            self._account_drop(pkt)
+        elif self._bytes[key] + pkt.size > self.limit_bytes_per_queue:
+            self._account_drop(pkt, "overflow")
             return False
         queue.append(pkt)
         self._bytes[key] += pkt.size
@@ -242,7 +297,12 @@ class StochasticFairQueue(DRRFairQueue):
         self.salt = salt
 
     def _bucket_of(self, pkt: Packet) -> int:
-        return hash((self._flow_key_fn(pkt), self.salt)) % self.n_buckets
+        # Deliberately NOT Python's hash(): that one is salted per process
+        # (PYTHONHASHSEED), which would make bucket assignment — and thus
+        # every SFQ result — differ across pool workers and cache replays.
+        # crc32 over a canonical encoding is stable everywhere.
+        key = repr((self._flow_key_fn(pkt), self.salt)).encode("utf-8")
+        return zlib.crc32(key) % self.n_buckets
 
 
 class TokenBucket:
@@ -303,6 +363,8 @@ class PriorityScheduler(Qdisc):
     of the link without ever letting them starve, Figure 2).
     """
 
+    DROP_REASONS = ("child", "unclassified")
+
     def __init__(
         self,
         classes: List,
@@ -331,13 +393,14 @@ class PriorityScheduler(Qdisc):
                 if ok:
                     self._account_in(pkt)
                 else:
-                    self.drops += 1
-                    self.drop_bytes += pkt.size
-                    if self.drop_hook is not None:
-                        self.drop_hook(pkt)
+                    # The child already accounted the drop in its own
+                    # counters (and fired any drop_hook of its own); the
+                    # parent records it too so scheduler totals stay
+                    # consistent with child sums.
+                    self._account_drop(pkt, "child")
                 return ok
         # No class claimed the packet: drop it.
-        self._account_drop(pkt)
+        self._account_drop(pkt, "unclassified")
         return False
 
     def dequeue(self, now: float) -> Optional[Packet]:

@@ -15,7 +15,7 @@ implement this factory protocol.  See :class:`SchemeFactory`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from .engine import Simulator
 from .link import Link
@@ -56,6 +56,12 @@ class SchemeFactory:
     def wire(self, net: "Dumbbell") -> None:
         """Post-construction hook (e.g. pushback registers the links whose
         drops it monitors)."""
+
+    def metric_items(self) -> Iterable[Tuple[str, Callable[[], float]]]:
+        """Scheme-specific metrics as ``(name, read)`` pairs; the
+        observability layer registers them under ``scheme.<name>``.  The
+        legacy Internet has no scheme state to report."""
+        return ()
 
 
 @dataclass

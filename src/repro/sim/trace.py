@@ -6,6 +6,13 @@ transfers and (ii) the average time of the transfers that complete
 per-transfer time series needed for Figure 11.  :class:`LinkMonitor`
 samples a link's utilization, backlog, and drops over time — the view an
 operator would graph.
+
+For simulation-wide observability — per-class utilization, drops broken
+down by reason, flow-state occupancy, transport retransmits, exported
+through :class:`~repro.eval.results.RunResult` — use :mod:`repro.obs`
+(``--metrics`` on the CLI).  :class:`LinkMonitor` remains the
+lightweight, standalone tool for watching a single link in tests and
+notebooks.
 """
 
 from __future__ import annotations

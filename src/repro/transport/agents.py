@@ -21,7 +21,7 @@ from ..sim.engine import Simulator
 from ..sim.node import Host
 from ..sim.packet import Packet
 from ..sim.trace import TransferLog
-from .tcp import TcpParams, TcpSender
+from .tcp import TcpParams, TcpSender, TcpStats
 
 
 class RepeatingTransferClient:
@@ -39,6 +39,7 @@ class RepeatingTransferClient:
         stop_at: Optional[float] = None,
         max_transfers: Optional[int] = None,
         tcp_params: Optional[TcpParams] = None,
+        tcp_stats: Optional[TcpStats] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -49,6 +50,7 @@ class RepeatingTransferClient:
         self.stop_at = stop_at
         self.max_transfers = max_transfers
         self.tcp_params = tcp_params or TcpParams()
+        self.tcp_stats = tcp_stats
         self.transfers_started = 0
         self.completed = 0
         self.failed = 0
@@ -74,6 +76,7 @@ class RepeatingTransferClient:
             params=self.tcp_params,
             on_complete=self._on_complete,
             on_fail=self._on_fail,
+            stats=self.tcp_stats,
         )
         sender.start()
 

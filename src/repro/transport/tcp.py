@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set, Tuple
 
+from ..obs.metrics import Counter
 from ..sim.engine import Event, Simulator
 from ..sim.node import Host
 from ..sim.packet import IP_TCP_HEADER, Packet
@@ -80,6 +81,28 @@ class TcpParams:
     dupack_threshold: int = 3
 
 
+class TcpStats:
+    """Shared transport counters, aggregated across every sender that is
+    handed the same instance (one per simulation run in the harness).
+    The obs registry exposes them as ``transport.*``."""
+
+    def __init__(self) -> None:
+        self.syn_retransmits = Counter("syn_retransmits")
+        self.data_retransmits = Counter("data_retransmits")
+        self.fast_retransmits = Counter("fast_retransmits")
+        self.aborts = Counter("aborts")
+        self.completions = Counter("completions")
+
+    def metric_counters(self) -> Dict[str, Counter]:
+        return {
+            "syn_retransmits": self.syn_retransmits,
+            "data_retransmits": self.data_retransmits,
+            "fast_retransmits": self.fast_retransmits,
+            "aborts": self.aborts,
+            "completions": self.completions,
+        }
+
+
 class TcpSender:
     """Client side of one transfer: connect, push ``nbytes``, report."""
 
@@ -93,6 +116,7 @@ class TcpSender:
         params: Optional[TcpParams] = None,
         on_complete: Optional[Callable[[float], None]] = None,
         on_fail: Optional[Callable[[float, str], None]] = None,
+        stats: Optional[TcpStats] = None,
     ) -> None:
         if nbytes <= 0:
             raise ValueError("transfer size must be positive")
@@ -104,6 +128,7 @@ class TcpSender:
         self.params = params or TcpParams()
         self.on_complete = on_complete
         self.on_fail = on_fail
+        self.stats = stats
 
         self.src_port = host.allocate_port()
         self.state = "idle"
@@ -152,6 +177,8 @@ class TcpSender:
         if self._syn_tries > self.params.syn_retries:
             self._fail("syn-retries-exhausted")
             return
+        if self.stats is not None:
+            self.stats.syn_retransmits.inc()
         self._notify_shim_timeout()
         self._send_syn()
 
@@ -239,6 +266,8 @@ class TcpSender:
                 self._timed_seg = None
                 if not self._check_transmission_budget(self.snd_una):
                     return
+                if self.stats is not None:
+                    self.stats.fast_retransmits.inc()
                 self._send_segment(self.snd_una)
                 self._arm_timer(reset=True)
 
@@ -265,6 +294,8 @@ class TcpSender:
         self.cwnd = 1.0
         self.dupacks = 0
         self._timed_seg = None  # Karn: no samples across retransmits
+        if self.stats is not None:
+            self.stats.data_retransmits.inc()
         self._notify_shim_timeout()
         self._send_segment(self.snd_una)
         self._arm_timer(reset=True)
@@ -296,12 +327,16 @@ class TcpSender:
     def _complete(self) -> None:
         self.state = "done"
         self._teardown()
+        if self.stats is not None:
+            self.stats.completions.inc()
         if self.on_complete is not None:
             self.on_complete(self.sim.now)
 
     def _fail(self, reason: str) -> None:
         self.state = "failed"
         self._teardown()
+        if self.stats is not None:
+            self.stats.aborts.inc()
         if self.on_fail is not None:
             self.on_fail(self.sim.now, reason)
 

@@ -140,6 +140,53 @@ class TestCapacity:
         assert records * 100 <= 32 * 1024 * 1024
 
 
+class TestExpiryHeap:
+    """Regression: the lazy-deletion expiry heap used to grow with every
+    charge — O(packets) memory on a table meant to bound router state."""
+
+    def _bound(self, table):
+        return max(table._HEAP_FLOOR, table._HEAP_RATIO * len(table))
+
+    def test_heap_stays_bounded_under_sustained_charging(self):
+        table = make_table(capacity=10)
+        entries = [
+            create(table, flow=(i, i + 1), n=10**9, t=10, now=0.0)
+            for i in range(3)
+        ]
+        now = 0.0
+        for _ in range(2000):
+            for entry in entries:
+                assert table.charge(entry, 1500, now)
+            now += 0.001
+            assert table.heap_size <= self._bound(table)
+
+    def test_reclamation_still_works_after_compaction(self):
+        table = make_table(capacity=2)
+        a = create(table, flow=(1, 2), n=10_000, t=10, now=0.0)
+        # Enough charges to exercise the heap maintenance; a's ttl reaches
+        # ~10 s (10 kB * 10 s / 10 kB), so it stays live below.
+        for i in range(100):
+            assert table.charge(a, 100, i * 0.001)
+        b = create(table, flow=(3, 4), n=10_000, t=10, now=1.0)
+        table.charge(b, 1000, 1.0)  # b expires at 2.0
+        # At t=3, b is reclaimable; a (huge ttl) is not.
+        c = table.create((5, 6), 9, CAP, 10_000, 10, 3.0)
+        assert c is not None
+        assert table.lookup((3, 4), 3.0) is None
+        assert table.lookup((1, 2), 3.0) is a
+        assert table.reclaimed_total >= 1
+
+    def test_metric_counters_track_lifecycle(self):
+        table = make_table(capacity=1)
+        a = create(table, flow=(1, 2), n=10_000, t=10, now=0.0)
+        table.charge(a, 10_000, 0.0)  # live until t=10
+        assert table.create((3, 4), 9, CAP, 10_000, 10, 1.0) is None
+        counters = table.metric_counters()
+        assert counters["created"].value == table.created_total == 1
+        assert counters["create_failures"].value == 1
+        assert table.heap_size >= 1
+
+
 class TestTwoNBound:
     """The paper's theorem: at most 2N bytes can be charged to one
     capability before it expires, no matter how state is reclaimed."""

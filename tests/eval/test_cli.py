@@ -139,6 +139,56 @@ class TestRunnerFlags:
         assert data["series"]
 
 
+class TestMetricsFlag:
+    """``--metrics`` attaches the repro.obs layer to the simulation runs."""
+
+    def test_scenario_metrics_json(self, capsys):
+        import json
+
+        rc = main(["scenario", "--scheme", "tva", "--attackers", "2",
+                   "--duration", "4", "--metrics", "--json", "--no-cache"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        metrics = data["metrics"]
+        assert metrics["interval"] == 0.5
+        assert "transport.completions" in metrics["finals"]
+        assert "link.bottleneck.util.regular" in metrics["series"]
+
+    def test_scenario_metrics_text_summary(self, capsys):
+        rc = main(["scenario", "--scheme", "tva", "--attackers", "2",
+                   "--duration", "4", "--metrics", "--no-cache"])
+        assert rc == 0
+        assert "metrics:" in capsys.readouterr().out
+
+    def test_metrics_off_by_default(self, capsys):
+        import json
+
+        rc = main(["scenario", "--scheme", "tva", "--attackers", "1",
+                   "--duration", "4", "--json", "--no-cache"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["metrics"] is None
+
+    def test_fig8_metrics_json(self, capsys):
+        import json
+
+        rc = main(["fig8", "--schemes", "tva", "--sweep", "1",
+                   "--duration", "4", "--metrics", "--json", "--no-cache"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        (point,) = data["points"]
+        assert point["runs"][0]["metrics"]["finals"]
+
+    def test_scenario_accepts_sfq_qdisc(self, capsys):
+        import json
+
+        rc = main(["scenario", "--scheme", "tva", "--attackers", "2",
+                   "--duration", "4", "--regular-qdisc", "sfq",
+                   "--json", "--no-cache"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["transfers_completed"] > 0
+
+
 class TestReport:
     def test_report_writes_markdown(self, tmp_path, capsys):
         out = tmp_path / "r.md"
@@ -149,3 +199,13 @@ class TestReport:
         text = out.read_text()
         assert "# TVA reproduction report" in text
         assert "Figure 8" in text and "Table 1" in text
+
+    def test_report_metrics_section(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        rc = main(["report", "--schemes", "tva", "--sweep", "2",
+                   "--duration", "4", "--fig11-duration", "14",
+                   "--packets", "600", "--metrics", "--output", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert "## Metrics — deterministic observability" in text
+        assert "| legacy | tva |" in text  # fig8's attack row

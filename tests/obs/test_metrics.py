@@ -1,0 +1,102 @@
+"""Tests for the metric primitives and the simulated-time sampler."""
+
+import pytest
+
+from repro.obs import Counter, MetricRegistry, Sampler
+from repro.sim import Simulator
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("drops")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_reset(self):
+        c = Counter()
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestRegistry:
+    def test_counter_helper_registers_and_reads(self):
+        reg = MetricRegistry()
+        c = reg.counter("a.drops")
+        c.inc(2)
+        assert reg.sample() == {"a.drops": 2}
+
+    def test_register_counter_object(self):
+        reg = MetricRegistry()
+        c = Counter("x")
+        reg.register("x", c)
+        c.inc()
+        assert reg.sample()["x"] == 1
+
+    def test_gauge_reads_live_state(self):
+        reg = MetricRegistry()
+        box = {"v": 10}
+        reg.gauge("box", lambda: box["v"])
+        assert reg.sample()["box"] == 10
+        box["v"] = 11
+        assert reg.sample()["box"] == 11
+
+    def test_duplicate_name_raises(self):
+        reg = MetricRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.counter("a")
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().counter("")
+
+    def test_non_callable_source_raises(self):
+        with pytest.raises(TypeError):
+            MetricRegistry().register("x", 42)
+
+    def test_sample_is_sorted_regardless_of_registration_order(self):
+        reg = MetricRegistry()
+        for name in ("z.last", "a.first", "m.middle"):
+            reg.counter(name)
+        assert list(reg.sample()) == ["a.first", "m.middle", "z.last"]
+        assert reg.names() == ["a.first", "m.middle", "z.last"]
+
+    def test_register_many_prefixes_and_sorts(self):
+        reg = MetricRegistry()
+        counters = {"drops": Counter(), "drop_bytes": Counter()}
+        reg.register_many("link.b.qdisc", counters)
+        assert "link.b.qdisc.drops" in reg
+        assert "link.b.qdisc.drop_bytes" in reg
+        assert len(reg) == 2
+
+
+class TestSampler:
+    def test_rows_land_on_interval_boundaries(self):
+        sim = Simulator()
+        reg = MetricRegistry()
+        c = reg.counter("ticks")
+        sampler = Sampler(sim, reg, interval=0.5)
+        # Bump the counter at 0.6 s; samples at 0.5 and 1.0 straddle it.
+        sim.at(0.6, lambda: c.inc(7))
+        sim.run(until=2.0)
+        times = [t for t, _ in sampler.rows]
+        assert times == pytest.approx([0.5, 1.0, 1.5, 2.0])
+        values = [row["ticks"] for _, row in sampler.rows]
+        assert values == [0, 7, 7, 7]
+
+    def test_series_pivots_rows(self):
+        sim = Simulator()
+        reg = MetricRegistry()
+        reg.counter("a")
+        sampler = Sampler(sim, reg, interval=1.0)
+        sim.run(until=3.0)
+        series = sampler.series()
+        assert set(series) == {"a"}
+        assert series["a"] == ((1.0, 0), (2.0, 0), (3.0, 0))
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            Sampler(Simulator(), MetricRegistry(), interval=0.0)

@@ -36,6 +36,7 @@ class TestDropTail:
         assert q.enqueue(mkpkt(size=100))
         assert not q.enqueue(mkpkt(size=100))
         assert q.drops == 1
+        assert q.drop_reasons == {"tail": 1}
         assert q.backlog_bytes == 200
 
     def test_packet_limit_ignores_sizes(self):
@@ -142,6 +143,47 @@ class TestDRR:
         for p in pkts:
             q.enqueue(p)
         assert [q.dequeue(0.0) for _ in range(5)] == pkts
+
+    def test_oversized_first_packet_leaves_no_state(self):
+        """Regression: a first packet larger than the per-queue byte limit
+        used to register its key before the limit check, leaking an empty
+        queue slot that only dequeue could retire."""
+        q = DRRFairQueue(key_fn=lambda p: p.src, limit_bytes_per_queue=300)
+        assert not q.enqueue(mkpkt(size=400, src=1))
+        assert q.active_queues == 0
+        assert q.drops == 1
+        # The key holds no stale state: a conforming packet still fits.
+        assert q.enqueue(mkpkt(size=100, src=1))
+
+    def test_oversized_flood_cannot_exhaust_queue_slots(self):
+        """A flood of oversized packets with distinct keys must not pin
+        ``max_queues`` slots — that would be state exhaustion inside the
+        DoS defense itself."""
+        q = DRRFairQueue(
+            key_fn=lambda p: p.src, limit_bytes_per_queue=300, max_queues=4
+        )
+        for src in range(100):
+            assert not q.enqueue(mkpkt(size=400, src=src))
+        assert q.active_queues == 0
+        assert q.drops == 100
+        # All slots remain available to conforming flows.
+        for src in range(200, 204):
+            assert q.enqueue(mkpkt(size=100, src=src))
+
+    def test_drop_reasons_distinguish_overflow_from_no_slot(self):
+        q = DRRFairQueue(
+            key_fn=lambda p: p.src, limit_bytes_per_queue=300, max_queues=2
+        )
+        q.enqueue(mkpkt(size=200, src=1))
+        q.enqueue(mkpkt(size=200, src=2))
+        assert not q.enqueue(mkpkt(size=200, src=1))  # over its byte budget
+        assert not q.enqueue(mkpkt(size=100, src=3))  # no free queue slot
+        assert not q.enqueue(mkpkt(size=400, src=1))  # oversized for any queue
+        assert q.drop_reasons == {"overflow": 2, "no_slot": 1}
+        assert q.drops == 3
+        counters = q.metric_counters()
+        assert counters["drops"].value == 3
+        assert counters["drops.no_slot"].value == 1
 
     @given(
         st.lists(

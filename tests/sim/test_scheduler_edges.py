@@ -72,6 +72,50 @@ def test_next_ready_prefers_soonest_class():
     assert ready == pytest.approx(fast_bucket.time_until(100, 0.0), rel=0.01)
 
 
+def test_parked_head_counts_in_parent_backlog():
+    """A deferred head has left its child queue but not the scheduler:
+    parent backlog must equal the children's sum plus the parked packet."""
+    bucket = TokenBucket(rate_bps=8000, burst_bytes=500)
+    q = DropTailQueue()
+    sched = PriorityScheduler([(lambda p: True, q, bucket)])
+    sched.enqueue(mkpkt(size=500))
+    assert sched.dequeue(0.0) is not None  # drains the bucket
+    sched.enqueue(mkpkt(size=500))
+    sched.enqueue(mkpkt(size=500))
+    assert sched.dequeue(0.0) is None  # parks the head
+    assert q.backlog_pkts == 1  # one still queued in the child...
+    assert sched.backlog_pkts == 2  # ...plus the parked head
+    assert sched.backlog_bytes == 1000
+    assert sched.dequeue(1.0) is not None  # 1000 B refilled: head released
+    assert sched.backlog_pkts == 1
+
+
+def test_next_ready_matches_bucket_wait_for_parked_head():
+    """Once a head is parked, next_ready must report the bucket's exact
+    token wait for that packet — links sleep on this instead of polling."""
+    bucket = TokenBucket(rate_bps=8000, burst_bytes=400)  # 1000 B/s
+    sched = PriorityScheduler([(lambda p: True, DropTailQueue(), bucket)])
+    sched.enqueue(mkpkt(size=400))
+    assert sched.dequeue(0.0) is not None
+    pkt = mkpkt(size=300)
+    sched.enqueue(pkt)
+    assert sched.dequeue(0.0) is None  # parked
+    assert sched.next_ready(0.0) == pytest.approx(
+        bucket.time_until(pkt.size, 0.0)
+    )
+
+
+def test_child_and_unclassified_drop_reasons():
+    hi = DropTailQueue(limit_bytes=100)
+    sched = PriorityScheduler([(lambda p: p.proto == "a", hi, None)])
+    assert sched.enqueue(mkpkt(proto="a", size=100))
+    assert not sched.enqueue(mkpkt(proto="a", size=100))  # child rejects
+    assert not sched.enqueue(mkpkt(proto="b"))  # no class claims it
+    assert sched.drop_reasons == {"child": 1, "unclassified": 1}
+    # Parent totals stay consistent with child sums plus unclassified.
+    assert sched.drops == hi.drops + 1
+
+
 def test_empty_scheduler_dequeue_and_ready():
     sched = PriorityScheduler([(lambda p: True, DropTailQueue(), None)])
     assert sched.dequeue(0.0) is None

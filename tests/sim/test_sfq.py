@@ -1,5 +1,10 @@
 """Stochastic fair queuing, and the collision attack TVA avoids (§3.9)."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 from repro.sim import Packet
 from repro.sim.queues import DRRFairQueue, StochasticFairQueue
 
@@ -122,3 +127,49 @@ def test_collisions_starve_victim_relative_to_bystanders():
     # Under DRR the victim's share equals any bystander's; under attacked
     # SFQ it is a fraction of it.
     assert victim_got_drr >= victim_got * 2
+
+
+# ---------------------------------------------------------------------------
+# Hash stability across interpreter hash seeds
+# ---------------------------------------------------------------------------
+
+_BUCKET_SCRIPT = """
+from repro.sim import Packet
+from repro.sim.queues import StochasticFairQueue
+
+q = StochasticFairQueue(key_fn=lambda p: (p.src, p.proto), n_buckets=16, salt=3)
+buckets = [
+    q._bucket_of(Packet(src=i, dst=2, size=100, proto=f"flow-{i}"))
+    for i in range(64)
+]
+print(buckets)
+"""
+
+
+def _buckets_under_hash_seed(seed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(seed)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    out = subprocess.run(
+        [sys.executable, "-c", _BUCKET_SCRIPT],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return out.stdout
+
+
+def test_bucket_assignment_is_stable_across_hash_seeds():
+    """Regression: ``_bucket_of`` once used the built-in ``hash()``, whose
+    per-process salting of strings made bucket assignment — and every
+    downstream SFQ result — depend on PYTHONHASHSEED.  The crc32-based
+    hash must place flows identically in any interpreter."""
+    assert _buckets_under_hash_seed(1) == _buckets_under_hash_seed(2)
+
+
+def test_salt_still_varies_the_mapping():
+    """The salt exists so *deliberate* collisions can be reshuffled; it
+    must keep working with the stable hash."""
+    a = StochasticFairQueue(key_fn=lambda p: p.src, n_buckets=64, salt=0)
+    b = StochasticFairQueue(key_fn=lambda p: p.src, n_buckets=64, salt=1)
+    mapping_a = [a._bucket_of(mkpkt(src)) for src in range(200)]
+    mapping_b = [b._bucket_of(mkpkt(src)) for src in range(200)]
+    assert mapping_a != mapping_b
