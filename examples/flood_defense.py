@@ -15,7 +15,7 @@ Run:  python examples/flood_defense.py [n_attackers]
 
 import sys
 
-from repro.eval import ExperimentConfig, ScenarioSpec, SweepRunner
+from repro.api import ExperimentConfig, ScenarioSpec, SweepRunner
 
 DURATION = 12.0
 

@@ -14,9 +14,16 @@ Run:  python examples/incremental_deployment.py
 
 import random
 
-from repro.core import ServerPolicy, TvaScheme
-from repro.sim import Simulator, TransferLog, build_chain
-from repro.transport import CbrFlood, RepeatingTransferClient, TcpListener
+from repro.api import (
+    CbrFlood,
+    RepeatingTransferClient,
+    ServerPolicy,
+    Simulator,
+    TcpListener,
+    TransferLog,
+    TvaScheme,
+    build_chain,
+)
 
 
 def main() -> None:
@@ -56,10 +63,7 @@ def main() -> None:
                             start_at=0.1, stop_at=10.0)
 
     # An attacker host glued to the first router floods the server.
-    from repro.sim import Host
-    from repro.sim.link import Link
-    from repro.sim.queues import DropTailQueue
-    from repro.sim.routing import build_static_routes
+    from repro.api import DropTailQueue, Host, Link, build_static_routes
 
     attacker = Host(sim, "attacker", 99, shim=None)
     r0 = [n for n in net.nodes if n.name == "R0"][0]

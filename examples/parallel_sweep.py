@@ -17,7 +17,7 @@ import os
 import tempfile
 import time
 
-from repro.eval import (
+from repro.api import (
     ExperimentConfig,
     ResultCache,
     SweepRunner,

@@ -12,9 +12,16 @@ Run:  python examples/path_identifiers.py
 
 import random
 
-from repro.core import ServerPolicy, TvaScheme
-from repro.sim import Simulator, TransferLog, build_two_tier
-from repro.transport import CbrFlood, RepeatingTransferClient, TcpListener
+from repro.api import (
+    CbrFlood,
+    RepeatingTransferClient,
+    ServerPolicy,
+    Simulator,
+    TcpListener,
+    TransferLog,
+    TvaScheme,
+    build_two_tier,
+)
 
 DURATION = 12.0
 

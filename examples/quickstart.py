@@ -10,9 +10,15 @@ path packets, and the routers' cached-entry counters.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import ServerPolicy, TvaScheme
-from repro.sim import Simulator, TransferLog, build_chain
-from repro.transport import RepeatingTransferClient, TcpListener
+from repro.api import (
+    RepeatingTransferClient,
+    ServerPolicy,
+    Simulator,
+    TcpListener,
+    TransferLog,
+    TvaScheme,
+    build_chain,
+)
 
 
 def main() -> None:

@@ -14,9 +14,17 @@ Run:  python examples/web_server_policy.py
 
 import random
 
-from repro.core import ServerPolicy, TvaScheme
-from repro.sim import Simulator, TransferLog, build_dumbbell
-from repro.transport import CbrFlood, PacketSink, RepeatingTransferClient, TcpListener
+from repro.api import (
+    CbrFlood,
+    PacketSink,
+    RepeatingTransferClient,
+    ServerPolicy,
+    Simulator,
+    TcpListener,
+    TransferLog,
+    TvaScheme,
+    build_dumbbell,
+)
 
 DURATION = 20.0
 ATTACK_START = 5.0

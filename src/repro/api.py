@@ -1,0 +1,190 @@
+"""The stable public API.
+
+This module is the supported import surface for scripts, notebooks, and
+examples::
+
+    from repro.api import ScenarioSpec, run_scenario, sweep, build_scheme
+
+Three entry points cover the common workflows:
+
+* :func:`run_scenario` — one simulation, one result;
+* :func:`sweep` — many specs, parallel + cached + multi-seed, one
+  :class:`SweepResult`;
+* :func:`build_scheme` — instantiate any registered scheme by name
+  (the :data:`SCHEMES` registry).
+
+Everything re-exported here is covered by the deprecation policy: names
+may gain parameters but won't move or vanish without a deprecation cycle.
+The deep module paths (``repro.eval.runner`` etc.) remain importable but
+are implementation detail; the old ``repro.eval`` re-exports of this
+surface emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+# -- scheme registry -------------------------------------------------------
+from .schemes import SCHEMES, build_scheme, scheme_names
+
+# -- fault injection -------------------------------------------------------
+from .faults import (
+    FaultInjector,
+    FaultSchedule,
+    LinkDown,
+    LinkUp,
+    RouteChange,
+    RouterReboot,
+    parse_fault,
+)
+
+# -- scenario running ------------------------------------------------------
+from .eval.cache import ResultCache, default_cache_dir
+from .eval.dynamics import (
+    DYNAMICS_SCHEMES,
+    DynamicsResult,
+    build_dynamics_spec,
+    recovery_time,
+    run_dynamics,
+)
+from .eval.experiments import ExperimentConfig, run_flood_scenario
+from .eval.results import PointResult, RunResult, SweepResult
+from .eval.runner import (
+    ScenarioSpec,
+    SweepRunner,
+    build_fig11_spec,
+    build_flood_specs,
+    run_spec,
+)
+
+# -- building blocks for custom topologies (what examples/ use) ------------
+from .core import ServerPolicy, TvaScheme
+from .sim import (
+    DropTailQueue,
+    Dumbbell,
+    Host,
+    Link,
+    Router,
+    SchemeFactory,
+    Simulator,
+    TransferLog,
+    build_chain,
+    build_dumbbell,
+    build_parallel,
+    build_static_routes,
+    build_two_tier,
+)
+from .transport import (
+    CbrFlood,
+    PacketSink,
+    RepeatingTransferClient,
+    TcpListener,
+)
+
+
+def run_scenario(
+    spec: Optional[ScenarioSpec] = None,
+    *,
+    cache: Optional[ResultCache] = None,
+    **kwargs,
+) -> RunResult:
+    """Run one scenario and return its :class:`RunResult`.
+
+    Pass a ready :class:`ScenarioSpec`, or its fields as keywords::
+
+        run_scenario(scheme="tva", attack="legacy", n_attackers=10)
+
+    ``cache`` (a :class:`ResultCache`) is consulted before running and
+    updated after.
+    """
+    if spec is None:
+        spec = ScenarioSpec(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a spec or spec fields, not both")
+    if cache is not None:
+        hit = cache.get(spec.key())
+        if hit is not None:
+            return hit
+    result = run_spec(spec)
+    if cache is not None:
+        cache.put(spec.key(), result)
+    return result
+
+
+def sweep(
+    specs: Sequence[ScenarioSpec],
+    *,
+    jobs: Optional[int] = None,
+    seeds: int = 1,
+    cache: Optional[ResultCache] = None,
+    title: str = "",
+    progress: Optional[Callable[[ScenarioSpec, bool], None]] = None,
+) -> SweepResult:
+    """Run many scenarios — parallel, cached, seed-replicated.
+
+    Each spec runs under ``seeds`` consecutive seeds and is aggregated
+    into a mean/stdev/CI :class:`PointResult`; the returned
+    :class:`SweepResult` serializes bit-identically regardless of
+    ``jobs`` (execution strategy never leaks into results).
+    """
+    runner = SweepRunner(jobs=jobs, cache=cache, progress=progress)
+    return runner.run_points(specs, seeds=seeds, title=title)
+
+
+__all__ = [
+    # entry points
+    "run_scenario",
+    "sweep",
+    "build_scheme",
+    # registry
+    "SCHEMES",
+    "scheme_names",
+    # specs and results
+    "ExperimentConfig",
+    "ScenarioSpec",
+    "RunResult",
+    "PointResult",
+    "SweepResult",
+    "SweepRunner",
+    "ResultCache",
+    "default_cache_dir",
+    "run_spec",
+    "run_flood_scenario",
+    "build_flood_specs",
+    "build_fig11_spec",
+    # faults
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkDown",
+    "LinkUp",
+    "RouteChange",
+    "RouterReboot",
+    "parse_fault",
+    # dynamics
+    "DYNAMICS_SCHEMES",
+    "DynamicsResult",
+    "build_dynamics_spec",
+    "recovery_time",
+    "run_dynamics",
+    # building blocks
+    "ServerPolicy",
+    "TvaScheme",
+    "SchemeFactory",
+    "Simulator",
+    "TransferLog",
+    "Dumbbell",
+    "Host",
+    "Link",
+    "Router",
+    "DropTailQueue",
+    "build_chain",
+    "build_dumbbell",
+    "build_parallel",
+    "build_static_routes",
+    "build_two_tier",
+    # traffic agents
+    "TcpListener",
+    "RepeatingTransferClient",
+    "PacketSink",
+    "CbrFlood",
+]

@@ -78,6 +78,19 @@ class PushbackProcessor(RouterProcessor):
         self.filter_drops = 0
         self.reviews = 0
         self.congested_reviews = 0
+        self.restarts = 0
+
+    def restart(self, now: float) -> None:
+        """Reboot: installed filters and window accounting are lost.  The
+        review timer keeps ticking (re-arming it would desynchronize the
+        calendar); the next review starts from the fresh window."""
+        self.restarts += 1
+        self.filters.clear()
+        self._filter_age.clear()
+        self._arrival_bytes.clear()
+        for link, drops in self._drop_bytes.items():
+            drops.clear()
+            self._link_tx_mark[link] = link.tx_bytes
 
     # ------------------------------------------------------------------
     def attach(self, router: Router) -> None:
@@ -229,6 +242,17 @@ class PushbackScheme(SchemeFactory):
             if isinstance(node, Router) and node.processor in self.processors.values():
                 node.processor.attach(node)
 
+    def reboot_router(
+        self, router_name: str, now: float, rotate_secret: bool = True
+    ) -> bool:
+        # Pushback has no secrets; rotate_secret is accepted for interface
+        # uniformity and ignored.
+        proc = self.processors.get(router_name)
+        if proc is None:
+            return False
+        proc.restart(now)
+        return True
+
     def metric_items(self):
         for name in sorted(self.processors):
             proc = self.processors[name]
@@ -242,3 +266,4 @@ class PushbackScheme(SchemeFactory):
                 lambda p=proc: p.identification_failures
             )
             yield f"{prefix}.active_filters", (lambda p=proc: len(p.filters))
+            yield f"{prefix}.restarts", (lambda p=proc: p.restarts)

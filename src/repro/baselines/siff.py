@@ -94,6 +94,14 @@ class SiffRouterProcessor(RouterProcessor):
         self.marks_issued = 0
         self.data_verified = 0
         self.data_dropped = 0
+        self.restarts = 0
+
+    def restart(self, now: float, new_seed: bytes = b"") -> None:
+        """Reboot: SIFF routers keep no flow state, but a crash replaces
+        the marking secret, silently invalidating all outstanding marks."""
+        self.restarts += 1
+        if new_seed:
+            self.secrets = SecretManager(new_seed, period=self.secrets.period)
 
     # ------------------------------------------------------------------
     def _mark(self, src: int, dst: int, epoch: int) -> int:
@@ -315,6 +323,20 @@ class SiffScheme(SchemeFactory):
         self.shims[role] = shim
         return shim
 
+    def reboot_router(
+        self, router_name: str, now: float, rotate_secret: bool = True
+    ) -> bool:
+        proc = self.processors.get(router_name)
+        if proc is None:
+            return False
+        new_seed = b""
+        if rotate_secret:
+            new_seed = (
+                f"siff-{router_name}-{self.seed}-reboot-{proc.restarts + 1}".encode()
+            )
+        proc.restart(now, new_seed=new_seed)
+        return True
+
     def metric_items(self):
         for name in sorted(self.processors):
             proc = self.processors[name]
@@ -322,3 +344,4 @@ class SiffScheme(SchemeFactory):
             yield f"{prefix}.marks_issued", (lambda p=proc: p.marks_issued)
             yield f"{prefix}.data_verified", (lambda p=proc: p.data_verified)
             yield f"{prefix}.data_dropped", (lambda p=proc: p.data_dropped)
+            yield f"{prefix}.restarts", (lambda p=proc: p.restarts)

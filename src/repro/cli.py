@@ -10,6 +10,8 @@ Examples::
     python -m repro table1
     python -m repro fig12
     python -m repro scenario --scheme tva --attack legacy --attackers 30
+    python -m repro scenario --scheme tva --fault link-down:1.0:5.0:bottleneck
+    python -m repro dynamics --jobs 2 --metrics   # recovery after a reboot
 
 Every simulation subcommand shares the sweep-runner flags: ``--jobs N``
 fans sweep points out across processes (default: all cores), ``--seeds
@@ -29,21 +31,27 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from .eval import (
+from .eval.cache import ResultCache
+from .eval.dynamics import DYNAMICS_SCHEMES, run_dynamics
+from .eval.experiments import (
     DEFAULT_SWEEP,
     SCHEMES,
     ExperimentConfig,
-    ResultCache,
+    run_fig11_imprecise,
+)
+from .eval.procbench import (
+    PACKET_KINDS,
+    forwarding_rate_curve,
+    format_table1,
+    measure_processing_costs,
+)
+from .eval.runner import (
     ScenarioSpec,
     SweepRunner,
     build_fig11_spec,
     build_flood_specs,
-    forwarding_rate_curve,
-    format_table1,
-    measure_processing_costs,
-    run_fig11_imprecise,
 )
-from .eval.procbench import PACKET_KINDS
+from .faults import FaultSchedule
 
 
 def _parse_schemes(value: str) -> List[str]:
@@ -117,6 +125,19 @@ def _metrics_lines(metrics) -> List[str]:
     aborts = finals.get("transport.aborts")
     if retrans is not None:
         lines.append(f"  tcp retransmits / aborts    : {retrans} / {aborts}")
+    applied = finals.get("faults.applied")
+    if applied:
+        lines.append(f"  faults applied              : {applied} "
+                     f"(reboots {finals.get('faults.reboots', 0)}, "
+                     f"link downs {finals.get('faults.link_downs', 0)}, "
+                     f"route changes {finals.get('faults.route_changes', 0)})")
+        lines.append(f"  packets lost to faults      : "
+                     f"{finals.get('faults.drained_packets', 0)} drained + "
+                     f"{finals.get('link.bottleneck.fault_drops', 0)} at "
+                     f"the down bottleneck")
+        rereq = finals.get("hosts.requests_sent", 0)
+        explorers = finals.get("hosts.explorers_sent", 0)
+        lines.append(f"  re-requests / explorers     : {rereq} / {explorers}")
     return lines
 
 
@@ -228,10 +249,16 @@ def _cmd_fig12(args) -> int:
 def _cmd_scenario(args) -> int:
     config = ExperimentConfig(duration=args.duration, seed=args.seed,
                               regular_qdisc=args.regular_qdisc)
+    try:
+        faults = FaultSchedule.from_specs(args.fault or ())
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     spec = ScenarioSpec(scheme=args.scheme, attack=args.attack,
                         n_attackers=args.attackers, seed=args.seed,
                         config=config, metrics=args.metrics,
-                        metrics_interval=args.metrics_interval)
+                        metrics_interval=args.metrics_interval,
+                        faults=faults)
     (run,) = _make_runner(args).run([spec])
     print("", file=sys.stderr)
     if args.json:
@@ -248,6 +275,33 @@ def _cmd_scenario(args) -> int:
         print("metrics:")
         for line in _metrics_lines(run.metrics):
             print(line)
+    return 0
+
+
+def _cmd_dynamics(args) -> int:
+    """Compare post-reboot recovery across schemes (Section 3.8)."""
+    result = run_dynamics(
+        schemes=args.schemes,
+        reboot_at=args.reboot_at,
+        duration=args.duration,
+        n_attackers=args.attackers,
+        router=args.router,
+        rotate_secret=not args.keep_secret,
+        seed=args.seed,
+        metrics=args.metrics,
+        metrics_interval=args.metrics_interval,
+        runner=_make_runner(args),
+    )
+    print("", file=sys.stderr)
+    if args.json:
+        print(result.to_json())
+    else:
+        print("Dynamics — recovery after a router reboot")
+        print(result.table())
+        print()
+        print("recovery(s): time after the reboot until the completion rate")
+        print("is back to 90% of its pre-fault level ('never' = not within")
+        print("the run; 0.0 = no visible degradation).")
     return 0
 
 
@@ -302,7 +356,7 @@ def _cmd_report(args) -> int:
     lines += ["## Figure 11 — imprecise policies", "",
               "| scheme | pattern | max transfer (s) | completion gaps |",
               "|---|---|---|---|"]
-    from .eval import Fig11Result
+    from .eval.experiments import Fig11Result
 
     for point, (scheme, pattern) in zip(runs[3 * per_figure:], fig11_cases):
         result = Fig11Result(scheme=scheme, pattern=pattern,
@@ -446,6 +500,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_runner_flags(pr)
     pr.set_defaults(fn=_cmd_report)
 
+    pd = sub.add_parser("dynamics",
+                        help="recovery after a router reboot (Section 3.8)")
+    pd.add_argument("--schemes", type=_parse_schemes,
+                    default=list(DYNAMICS_SCHEMES),
+                    help=f"comma-separated subset of {','.join(SCHEMES)} "
+                         f"(default: {','.join(DYNAMICS_SCHEMES)})")
+    pd.add_argument("--reboot-at", type=float, default=8.0, metavar="SEC",
+                    help="when the router reboots (default: 8.0)")
+    pd.add_argument("--duration", type=float, default=20.0,
+                    help="simulated seconds per scheme")
+    pd.add_argument("--attackers", type=int, default=0,
+                    help="background flood size (default: 0 — isolate "
+                         "the dynamics response)")
+    pd.add_argument("--router", default="R1",
+                    help="which router reboots (default: R1, the "
+                         "trust-boundary router)")
+    pd.add_argument("--keep-secret", action="store_true",
+                    help="reboot without rotating the pre-capability "
+                         "secret (flow state is still lost)")
+    pd.add_argument("--seed", type=int, default=1)
+    add_runner_flags(pd, seeds=False)
+    pd.set_defaults(fn=_cmd_dynamics)
+
     ps = sub.add_parser("scenario", help="one custom flood scenario")
     ps.add_argument("--scheme", choices=SCHEMES, default="tva")
     ps.add_argument("--attack",
@@ -457,6 +534,11 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--regular-qdisc", choices=("drr", "sfq"), default="drr",
                     help="fair queuing for TVA's regular class: per-key "
                          "DRR (the paper) or hashed SFQ (Section 3.9)")
+    ps.add_argument("--fault", action="append", metavar="SPEC",
+                    help="inject a fault; repeatable.  SPECs: "
+                         "link-down:T[:T_up][:LINK], link-up:T[:LINK], "
+                         "reboot:T[:ROUTER][:keep-secret], route-change:T "
+                         "(e.g. --fault link-down:1.0:5.0:bottleneck)")
     add_runner_flags(ps, seeds=False)
     ps.set_defaults(fn=_cmd_scenario)
 

@@ -77,6 +77,8 @@ class ReturnInfo:
     @classmethod
     def unpack(cls, reader: BitReader) -> "ReturnInfo":
         rtype = reader.read(8)
+        if rtype & ~(RETURN_DEMOTION | RETURN_CAPABILITIES):
+            raise ValueError(f"unknown return-info type bits 0x{rtype:02x}")
         info = cls(demotion=bool(rtype & RETURN_DEMOTION))
         if rtype & RETURN_CAPABILITIES:
             count = reader.read(8)

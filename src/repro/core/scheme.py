@@ -202,6 +202,29 @@ class TvaScheme(SchemeFactory):
         return shim
 
     # ------------------------------------------------------------------
+    def reboot_router(
+        self, router_name: str, now: float, rotate_secret: bool = True
+    ) -> bool:
+        """Reboot hook for fault injection (Section 3.8's failure model).
+
+        Flow state is always lost; ``rotate_secret`` additionally replaces
+        the pre-capability secret, so every capability issued before the
+        reboot fails validation and senders fall back to re-requesting.
+        The new seed is derived from the scheme seed and restart count, so
+        reboots stay deterministic across runs and worker processes.
+        """
+        core = self.router_cores.get(router_name)
+        if core is None:
+            return False
+        new_seed = b""
+        if rotate_secret:
+            new_seed = (
+                f"router-{router_name}-{self.seed}-reboot-{core.restarts + 1}".encode()
+            )
+        core.restart(now, new_seed=new_seed)
+        return True
+
+    # ------------------------------------------------------------------
     def metric_items(self) -> Iterable[Tuple[str, Callable[[], float]]]:
         """TVA's router pipeline counters and flow-state occupancy.
 

@@ -1,0 +1,204 @@
+"""The network-dynamics experiment: recovery after a router reboot.
+
+Section 3.8 argues TVA degrades gracefully under network dynamics: when a
+router reboots, its flow cache and (worst case) its pre-capability secret
+are gone, every established sender is demoted at that hop, and demotion
+echoes drive senders back through the request channel — a bounded hiccup,
+not a standing outage.  SIFF's marks die the same way but its explorers
+compete with legacy traffic, and the legacy Internet forwards statelessly
+and does not notice the reboot at all.
+
+``repro dynamics`` quantifies that comparison: run each scheme with a
+:class:`~repro.faults.RouterReboot` mid-experiment and report the
+*recovery time* — how long after the reboot it takes the completion rate
+to climb back to 90% of its pre-fault level.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..faults import FaultSchedule, RouterReboot
+from .experiments import ExperimentConfig
+from .results import RunResult
+from .runner import ScenarioSpec, SweepRunner
+
+#: Schemes compared by default: TVA against SIFF (capability baseline
+#: with its own soft state) and the legacy Internet (stateless, so the
+#: reboot is invisible — the control).
+DYNAMICS_SCHEMES = ("tva", "siff", "internet")
+
+#: A scheme has recovered when its completion rate reaches this fraction
+#: of the pre-fault rate.
+RECOVERY_FRACTION = 0.9
+
+
+def build_dynamics_spec(
+    scheme: str,
+    reboot_at: float = 8.0,
+    duration: float = 20.0,
+    n_attackers: int = 0,
+    router: str = "R1",
+    rotate_secret: bool = True,
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 1,
+    metrics: bool = False,
+    metrics_interval: float = 0.5,
+) -> ScenarioSpec:
+    """One scheme's reboot scenario as a cacheable spec.
+
+    Defaults reboot the trust-boundary router R1 (where TVA keeps the
+    flow state that matters) mid-run with no attack traffic, isolating
+    the dynamics response from flood response.
+    """
+    if reboot_at >= duration:
+        raise ValueError("reboot_at must fall inside the run duration")
+    config = replace(config or ExperimentConfig(), duration=duration, seed=seed)
+    return ScenarioSpec(
+        scheme=scheme,
+        attack="legacy",
+        n_attackers=n_attackers,
+        seed=seed,
+        config=config,
+        faults=FaultSchedule(
+            (RouterReboot(at=reboot_at, router=router, rotate_secret=rotate_secret),)
+        ),
+        metrics=metrics,
+        metrics_interval=metrics_interval,
+    )
+
+
+def recovery_time(
+    run: RunResult,
+    reboot_at: float,
+    warmup: float = 2.0,
+    bucket: float = 1.0,
+) -> Optional[float]:
+    """Seconds after ``reboot_at`` until the completion rate is back to
+    ``RECOVERY_FRACTION`` of its pre-fault level.
+
+    Completion times come from the run's per-transfer series (start +
+    duration); rates are bucketed into ``bucket``-second bins.  Returns
+    ``0.0`` when the first post-reboot bucket already meets the bar (the
+    scheme never visibly degraded — the stateless-Internet control), and
+    ``None`` when no bucket recovers before the run ends.
+    """
+    completions = sorted(start + dur for start, dur in run.time_series)
+    pre = [t for t in completions if warmup <= t < reboot_at]
+    pre_window = reboot_at - warmup
+    if not pre or pre_window <= 0:
+        return None
+    pre_rate = len(pre) / pre_window
+    target = RECOVERY_FRACTION * pre_rate
+    t = reboot_at
+    horizon = max(completions, default=reboot_at)
+    while t <= horizon:
+        rate = sum(1 for c in completions if t <= c < t + bucket) / bucket
+        if rate >= target:
+            return t - reboot_at
+        t += bucket
+    return None
+
+
+def _metric_final(run: RunResult, name: str) -> Optional[float]:
+    if not run.metrics:
+        return None
+    return run.metrics.get("finals", {}).get(name)
+
+
+def _metric_sum(run: RunResult, suffix: str) -> Optional[float]:
+    """Sum every final metric whose name ends with ``suffix`` (per-router
+    counters like ``scheme.router.R1.demotions``)."""
+    if not run.metrics:
+        return None
+    finals = run.metrics.get("finals", {})
+    values = [v for k, v in finals.items() if k.endswith(suffix)]
+    return sum(values) if values else None
+
+
+@dataclass
+class DynamicsResult:
+    """The dynamics comparison across schemes, JSON-ready.
+
+    Contains only facts about *what* was simulated — no timestamps, job
+    counts, or host info — so the JSON is bit-identical across
+    ``--jobs`` values and ``PYTHONHASHSEED``s.
+    """
+
+    reboot_at: float
+    duration: float
+    rows: List[Dict] = field(default_factory=list)
+
+    def table(self) -> str:
+        lines = [
+            f"router reboot at t={self.reboot_at:g}s (run length {self.duration:g}s)",
+            f"{'scheme':9s} {'recovery(s)':>11s} {'frac':>6s} {'re-requests':>11s} {'demotions':>9s}",
+        ]
+        for row in self.rows:
+            rec = row["recovery_time"]
+            rec_s = "never" if rec is None else f"{rec:.1f}"
+            rereq = row.get("re_requests")
+            demo = row.get("demotions")
+            lines.append(
+                f"{row['scheme']:9s} {rec_s:>11s} {row['fraction_completed']:6.2f} "
+                f"{'-' if rereq is None else int(rereq):>11} "
+                f"{'-' if demo is None else int(demo):>9}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {"reboot_at": self.reboot_at, "duration": self.duration, "rows": self.rows},
+            indent=indent,
+            sort_keys=True,
+        )
+
+
+def run_dynamics(
+    schemes: Sequence[str] = DYNAMICS_SCHEMES,
+    reboot_at: float = 8.0,
+    duration: float = 20.0,
+    n_attackers: int = 0,
+    router: str = "R1",
+    rotate_secret: bool = True,
+    config: Optional[ExperimentConfig] = None,
+    seed: int = 1,
+    metrics: bool = False,
+    metrics_interval: float = 0.5,
+    runner: Optional[SweepRunner] = None,
+) -> DynamicsResult:
+    """Run the reboot scenario for every scheme and compare recovery."""
+    specs = [
+        build_dynamics_spec(
+            scheme,
+            reboot_at=reboot_at,
+            duration=duration,
+            n_attackers=n_attackers,
+            router=router,
+            rotate_secret=rotate_secret,
+            config=config,
+            seed=seed,
+            metrics=metrics,
+            metrics_interval=metrics_interval,
+        )
+        for scheme in schemes
+    ]
+    runner = runner or SweepRunner(jobs=1)
+    runs = runner.run(specs)
+    rows = []
+    for scheme, run in zip(schemes, runs):
+        row: Dict = {
+            "scheme": scheme,
+            "recovery_time": recovery_time(run, reboot_at),
+            "fraction_completed": run.fraction_completed,
+            "transfers_completed": run.transfers_completed,
+        }
+        if run.metrics:
+            row["reboots"] = _metric_final(run, "faults.reboots")
+            row["demotions"] = _metric_sum(run, ".demotions")
+            row["re_requests"] = _metric_final(run, "hosts.requests_sent")
+            row["explorers"] = _metric_final(run, "hosts.explorers_sent")
+        rows.append(row)
+    return DynamicsResult(reboot_at=reboot_at, duration=duration, rows=rows)

@@ -17,21 +17,23 @@ per user); the *shape* of every curve is preserved.  Pass a larger
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..baselines import LegacyScheme, PushbackScheme, SiffScheme
-from ..core import ServerPolicy, TvaScheme
 from ..core.params import (
     REQUEST_FRACTION_SIM,
     SERVER_GRANT_BYTES,
     SERVER_GRANT_SECONDS,
 )
+from ..faults import FaultInjector, coerce_schedule
+from ..schemes import build_scheme, scheme_names
 from ..sim import Simulator, TransferLog, build_dumbbell
 from ..transport import CbrFlood, PacketSink, RepeatingTransferClient, TcpListener
 from ..transport.tcp import TcpStats
 
-SCHEMES = ("tva", "siff", "pushback", "internet")
+#: Evaluated schemes, derived from the :mod:`repro.schemes` registry.
+SCHEMES = scheme_names()
 
 #: Attacker counts used by default for the Figure 8-10 sweeps (the paper
 #: sweeps 1..100 on a log axis).
@@ -99,6 +101,55 @@ class FloodResult:
         return cls(**data)
 
 
+def _scheme_kwargs(
+    name: str,
+    config: ExperimentConfig,
+    destination_policy: Optional[Callable] = None,
+    siff_secret_period: Optional[float] = None,
+    siff_accept_previous: bool = True,
+    siff_mark_bits: int = 2,
+) -> Dict:
+    """Map an ExperimentConfig onto the registry factory's knobs."""
+    kwargs: Dict = {"seed": config.seed}
+    if destination_policy is not None:
+        kwargs["destination_policy"] = destination_policy
+    if name == "tva":
+        kwargs.update(
+            server_grant=config.server_grant,
+            request_fraction=config.request_fraction,
+            regular_qdisc=config.regular_qdisc,
+        )
+    elif name == "siff":
+        kwargs.update(
+            server_grant=config.server_grant,
+            secret_period=siff_secret_period or 30.0,
+            accept_previous=siff_accept_previous,
+            mark_bits=siff_mark_bits,
+        )
+    return kwargs
+
+
+def _make_scheme(
+    name: str,
+    config: ExperimentConfig,
+    destination_policy: Optional[Callable] = None,
+    siff_secret_period: Optional[float] = None,
+    siff_accept_previous: bool = True,
+    siff_mark_bits: int = 2,
+):
+    return build_scheme(
+        name,
+        **_scheme_kwargs(
+            name,
+            config,
+            destination_policy=destination_policy,
+            siff_secret_period=siff_secret_period,
+            siff_accept_previous=siff_accept_previous,
+            siff_mark_bits=siff_mark_bits,
+        ),
+    )
+
+
 def make_scheme(
     name: str,
     config: ExperimentConfig,
@@ -107,33 +158,25 @@ def make_scheme(
     siff_accept_previous: bool = True,
     siff_mark_bits: int = 2,
 ):
-    """Instantiate one of the four evaluated schemes by name."""
-    if name == "tva":
-        policy = destination_policy or (
-            lambda: ServerPolicy(default_grant=config.server_grant)
-        )
-        return TvaScheme(
-            request_fraction=config.request_fraction,
-            destination_policy=policy,
-            seed=config.seed,
-            regular_qdisc=config.regular_qdisc,
-        )
-    if name == "siff":
-        policy = destination_policy or (
-            lambda: ServerPolicy(default_grant=config.server_grant)
-        )
-        return SiffScheme(
-            secret_period=siff_secret_period or 30.0,
-            accept_previous=siff_accept_previous,
-            destination_policy=policy,
-            seed=config.seed,
-            mark_bits=siff_mark_bits,
-        )
-    if name == "pushback":
-        return PushbackScheme()
-    if name == "internet":
-        return LegacyScheme()
-    raise ValueError(f"unknown scheme {name!r}; choose from {SCHEMES}")
+    """Deprecated: use :func:`repro.api.build_scheme` (the registry) instead.
+
+    This wrapper keeps the historical signature working; it translates the
+    ExperimentConfig-shaped arguments onto the registry factories.
+    """
+    warnings.warn(
+        "repro.eval.experiments.make_scheme is deprecated; "
+        "use repro.api.build_scheme instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _make_scheme(
+        name,
+        config,
+        destination_policy=destination_policy,
+        siff_secret_period=siff_secret_period,
+        siff_accept_previous=siff_accept_previous,
+        siff_mark_bits=siff_mark_bits,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -153,6 +196,7 @@ def run_flood_scenario(
     siff_accept_previous: bool = True,
     siff_mark_bits: int = 2,
     observer=None,
+    faults=None,
 ) -> TransferLog:
     """Run one dumbbell scenario and return the users' transfer log.
 
@@ -160,6 +204,12 @@ def run_flood_scenario(
     :class:`~repro.obs.instrument.Observation`; when given it is
     installed on the built network before the simulation starts and
     records deterministic metric series alongside the transfer log.
+
+    ``faults`` is an optional :class:`~repro.faults.FaultSchedule` (or
+    anything :func:`~repro.faults.coerce_schedule` accepts — event lists,
+    CLI spec strings); its events are booked on the same calendar as the
+    traffic, so fault-bearing runs stay bit-identical across seeds and
+    worker counts.
 
     ``attack`` selects the flood class:
 
@@ -172,7 +222,7 @@ def run_flood_scenario(
     """
     config = config or ExperimentConfig()
     sim = Simulator()
-    scheme = make_scheme(
+    scheme = _make_scheme(
         scheme_name,
         config,
         destination_policy=destination_policy,
@@ -237,8 +287,13 @@ def run_flood_scenario(
             jitter=0.3,
             rng=random.Random(config.seed * 1000 + i),
         )
+    schedule = coerce_schedule(faults)
+    injector = None
+    if schedule:
+        injector = FaultInjector(schedule)
+        injector.install(sim, net, scheme)
     if observer is not None:
-        observer.install(sim, net, scheme, tcp_stats)
+        observer.install(sim, net, scheme, tcp_stats, injector=injector)
     sim.run(until=config.duration)
     return log
 

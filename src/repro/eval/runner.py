@@ -32,6 +32,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, List, Optional, Sequence
 
 from .. import __version__
+from ..faults import FaultSchedule, coerce_schedule
 from .cache import ResultCache
 from .experiments import ExperimentConfig, run_flood_scenario
 from .results import PointResult, RunResult, SweepResult, normalize_metrics
@@ -41,7 +42,9 @@ from .results import PointResult, RunResult, SweepResult, normalize_metrics
 #: stale cached results can never satisfy a new code base.
 #: v2: queue/flow-state bug batch (stable SFQ hashing, DRR slot leak,
 #: expiry-heap compaction) + metrics-aware results.
-CACHE_SALT = f"repro-runner-v2:{__version__}"
+#: v3: fault-injection subsystem — specs gain a ``faults`` schedule and
+#: instrumented runs gain faults./hosts. metric scopes.
+CACHE_SALT = f"repro-runner-v3:{__version__}"
 
 #: Destination-policy names a spec may carry (see ``_policy_factory``).
 POLICIES = ("server", "filtering", "oracle")
@@ -80,6 +83,12 @@ class ScenarioSpec:
     #: key: an instrumented run is a different (strict superset) result.
     metrics: bool = False
     metrics_interval: float = 0.5
+    #: Scheduled network dynamics (link failures, router reboots, route
+    #: changes) injected into the run.  Part of the cache key; defaults
+    #: to the empty schedule, so fault-free specs behave exactly as
+    #: before.  The field normalizes: event tuples, ``--fault`` spec
+    #: strings, or ``None`` all coerce to a :class:`FaultSchedule`.
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -88,12 +97,29 @@ class ScenarioSpec:
             )
         if self.metrics_interval <= 0:
             raise ValueError("metrics_interval must be positive")
+        if not isinstance(self.faults, FaultSchedule):
+            object.__setattr__(self, "faults", coerce_schedule(self.faults))
 
     def canonical(self) -> dict:
         """The spec as plain data, independent of field ordering."""
         data = asdict(self)
         data["config"]["server_grant"] = list(data["config"]["server_grant"])
+        # asdict() loses each event's ClassVar ``kind`` tag; use the
+        # schedule's own canonical form (which keeps it).
+        data["faults"] = self.faults.canonical()
         return data
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        return self.canonical()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (e.g. a JSON file)."""
+        data = dict(data)
+        data["config"] = ExperimentConfig.from_dict(data["config"])
+        data["faults"] = FaultSchedule.from_dict(data.get("faults"))
+        return cls(**data)
 
     def key(self) -> str:
         """Stable content hash of the spec plus the code-version salt."""
@@ -158,6 +184,7 @@ def run_spec(spec: ScenarioSpec) -> RunResult:
         siff_accept_previous=spec.siff_accept_previous,
         siff_mark_bits=spec.siff_mark_bits,
         observer=observer,
+        faults=spec.faults,
     )
     horizon = max(0.0, config.duration - 2.0)
     metrics = normalize_metrics(observer.export()) if observer else None

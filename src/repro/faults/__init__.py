@@ -1,0 +1,37 @@
+"""Deterministic fault injection for network dynamics experiments.
+
+Public surface::
+
+    from repro.faults import FaultSchedule, FaultInjector, parse_fault
+    from repro.faults import LinkDown, LinkUp, RouterReboot, RouteChange
+
+Schedules are declarative and serializable (they travel on
+``ScenarioSpec`` and hash into the result cache); the injector drives them
+through the shared simulator event loop at run time.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    FaultEvent,
+    LinkDown,
+    LinkUp,
+    RouteChange,
+    RouterReboot,
+    parse_fault,
+)
+from .injector import FaultInjectionError, FaultInjector
+from .schedule import FaultSchedule, coerce_schedule
+
+__all__ = [
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkDown",
+    "LinkUp",
+    "RouteChange",
+    "RouterReboot",
+    "coerce_schedule",
+    "parse_fault",
+]

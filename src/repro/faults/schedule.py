@@ -1,0 +1,86 @@
+"""Immutable, serializable fault schedules.
+
+A :class:`FaultSchedule` is the value that rides on
+:class:`~repro.eval.runner.ScenarioSpec`: frozen (so specs stay hashable),
+pickleable across sweep workers, and round-trippable through JSON (so a
+fault-bearing spec hashes into the result-cache key and reloads from it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
+
+from .events import FaultEvent, parse_fault
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, immutable collection of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        for ev in events:
+            if not isinstance(ev, FaultEvent):
+                raise TypeError(f"not a FaultEvent: {ev!r}")
+        # Stable sort by time keeps canonical form (and thus the cache key)
+        # independent of authoring order while preserving same-time order.
+        object.__setattr__(self, "events", tuple(sorted(events, key=lambda e: e.at)))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    # -- serialization -------------------------------------------------
+    def canonical(self) -> List[Dict]:
+        """JSON-ready form; feeds the result-cache content hash."""
+        return [ev.to_dict() for ev in self.events]
+
+    def to_dict(self) -> List[Dict]:
+        return self.canonical()
+
+    @classmethod
+    def from_dict(cls, data: Union[Iterable[Dict], None]) -> "FaultSchedule":
+        if not data:
+            return cls()
+        return cls(tuple(FaultEvent.from_dict(item) for item in data))
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[str]) -> "FaultSchedule":
+        """Build from CLI ``--fault`` strings (see ``events.parse_fault``)."""
+        events: List[FaultEvent] = []
+        for spec in specs:
+            events.extend(parse_fault(spec))
+        return cls(tuple(events))
+
+
+def coerce_schedule(value: object) -> FaultSchedule:
+    """Normalize the ``faults`` field of a ScenarioSpec.
+
+    Accepts a FaultSchedule, ``None``, an iterable of events, or an
+    iterable of ``--fault`` spec strings / event dicts (mixes allowed).
+    """
+    if isinstance(value, FaultSchedule):
+        return value
+    if value is None:
+        return FaultSchedule()
+    if isinstance(value, str):
+        value = (value,)
+    events: List[FaultEvent] = []
+    for item in value:  # type: ignore[union-attr]
+        if isinstance(item, FaultEvent):
+            events.append(item)
+        elif isinstance(item, str):
+            events.extend(parse_fault(item))
+        elif isinstance(item, dict):
+            events.append(FaultEvent.from_dict(item))
+        else:
+            raise TypeError(f"cannot interpret {item!r} as a fault event")
+    return FaultSchedule(tuple(events))

@@ -89,11 +89,14 @@ class Observation:
         net: "Dumbbell",
         scheme: "SchemeFactory",
         tcp_stats: Optional["TcpStats"] = None,
+        injector=None,
     ) -> None:
         """Instrument a built network and start the periodic sampler.
 
         Must run before ``sim.run`` so the first tick lands at
-        ``interval`` and every series has full length.
+        ``interval`` and every series has full length.  ``injector`` is
+        an optional :class:`~repro.faults.FaultInjector`; its counters
+        are registered under the ``faults.`` scope.
         """
         for label, link in (
             ("bottleneck", net.bottleneck),
@@ -105,7 +108,39 @@ class Observation:
             self.registry.gauge(f"scheme.{name}", read)
         if tcp_stats is not None:
             self.registry.register_many("transport", tcp_stats.metric_counters())
+        if injector is not None:
+            for name, counter in injector.metric_items():
+                self.registry.register(f"faults.{name}", counter)
+        self.instrument_hosts(net)
         self.sampler = Sampler(sim, self.registry, self.interval)
+
+    # ------------------------------------------------------------------
+    def instrument_hosts(self, net: "Dumbbell") -> None:
+        """Aggregate host-shim activity: capability re-requests and
+        demotion sightings, summed over all hosts.
+
+        These are the dynamics signals of Section 3.8 — after a fault, a
+        recovery shows up as a burst of ``hosts.requests_sent`` (TVA) or
+        ``hosts.explorers_sent`` (SIFF)."""
+        from ..sim.node import Host
+
+        shims = [
+            node.shim
+            for node in net.nodes
+            if isinstance(node, Host) and node.shim is not None
+        ]
+        for attr in (
+            "requests_sent",
+            "explorers_sent",
+            "grants_received",
+            "demotions_seen",
+        ):
+            self.registry.gauge(
+                f"hosts.{attr}",
+                lambda shims=shims, attr=attr: sum(
+                    getattr(shim, attr, 0) for shim in shims
+                ),
+            )
 
     # ------------------------------------------------------------------
     def instrument_link(self, label: str, link: "Link") -> None:

@@ -1,0 +1,123 @@
+"""Registry of the evaluated schemes.
+
+One place that knows how to build every scheme the repo evaluates, so the
+CLI's ``--scheme`` choices, ``repro report``, and the experiment harness
+all derive from the same table instead of each hard-coding the list.
+
+Every factory has a uniform keyword-only signature: ``seed`` and
+``destination_policy`` are accepted by all of them (ignored where a scheme
+has no use for them), plus scheme-specific knobs.  Unknown keyword
+arguments raise ``TypeError`` with the scheme's name, so a typo'd knob
+fails loudly instead of silently building a default scheme.
+
+This module sits below :mod:`repro.eval` (it imports only core and
+baselines), so the registry is importable without dragging in the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from .baselines import LegacyScheme, PushbackScheme, SiffScheme
+from .baselines.siff import MARK_BITS, SIFF_SECRET_PERIOD
+from .core import ServerPolicy, TvaScheme
+from .core.params import (
+    REQUEST_FRACTION_DEFAULT,
+    SERVER_GRANT_BYTES,
+    SERVER_GRANT_SECONDS,
+)
+from .sim.topology import SchemeFactory
+
+DEFAULT_SERVER_GRANT = (SERVER_GRANT_BYTES, SERVER_GRANT_SECONDS)
+
+
+def _grant_policy(server_grant) -> Callable[[], ServerPolicy]:
+    grant = tuple(server_grant)
+    return lambda: ServerPolicy(default_grant=grant)
+
+
+def _make_tva(
+    *,
+    seed: int = 42,
+    destination_policy: Optional[Callable] = None,
+    server_grant: Tuple[int, float] = DEFAULT_SERVER_GRANT,
+    request_fraction: float = REQUEST_FRACTION_DEFAULT,
+    regular_qdisc: str = "drr",
+) -> TvaScheme:
+    return TvaScheme(
+        request_fraction=request_fraction,
+        destination_policy=destination_policy or _grant_policy(server_grant),
+        seed=seed,
+        regular_qdisc=regular_qdisc,
+    )
+
+
+def _make_siff(
+    *,
+    seed: int = 42,
+    destination_policy: Optional[Callable] = None,
+    server_grant: Tuple[int, float] = DEFAULT_SERVER_GRANT,
+    secret_period: float = SIFF_SECRET_PERIOD,
+    accept_previous: bool = True,
+    mark_bits: int = MARK_BITS,
+) -> SiffScheme:
+    return SiffScheme(
+        secret_period=secret_period,
+        accept_previous=accept_previous,
+        destination_policy=destination_policy or _grant_policy(server_grant),
+        seed=seed,
+        mark_bits=mark_bits,
+    )
+
+
+def _make_pushback(
+    *,
+    seed: int = 42,
+    destination_policy: Optional[Callable] = None,
+    review_interval: float = 2.0,
+    drop_fraction_threshold: float = 0.02,
+) -> PushbackScheme:
+    # Pushback needs no seed or destination policy; accepted for the
+    # uniform signature.
+    return PushbackScheme(
+        review_interval=review_interval,
+        drop_fraction_threshold=drop_fraction_threshold,
+    )
+
+
+def _make_internet(
+    *,
+    seed: int = 42,
+    destination_policy: Optional[Callable] = None,
+) -> LegacyScheme:
+    return LegacyScheme()
+
+
+#: Name -> factory, in the paper's presentation order (TVA, then the
+#: comparison points).  Iteration order is the CLI/report order.
+SCHEMES: Dict[str, Callable[..., SchemeFactory]] = {
+    "tva": _make_tva,
+    "siff": _make_siff,
+    "pushback": _make_pushback,
+    "internet": _make_internet,
+}
+
+
+def scheme_names() -> Tuple[str, ...]:
+    return tuple(SCHEMES)
+
+
+def build_scheme(name: str, **params) -> SchemeFactory:
+    """Instantiate a registered scheme by name.
+
+    All factories accept ``seed`` and ``destination_policy``; everything
+    else is scheme-specific (see the ``_make_*`` signatures above).
+    """
+    factory = SCHEMES.get(name)
+    if factory is None:
+        raise ValueError(f"unknown scheme {name!r}; choose from {scheme_names()}")
+    try:
+        return factory(**params)
+    except TypeError as exc:
+        raise TypeError(f"build_scheme({name!r}): {exc}") from None

@@ -19,7 +19,14 @@ from .queues import (
     TokenBucket,
 )
 from .routing import RoutingError, build_static_routes
-from .topology import Dumbbell, SchemeFactory, build_chain, build_dumbbell, build_two_tier
+from .topology import (
+    Dumbbell,
+    SchemeFactory,
+    build_chain,
+    build_dumbbell,
+    build_parallel,
+    build_two_tier,
+)
 from .trace import LinkMonitor, LinkSample, TransferLog, TransferRecord
 
 __all__ = [
@@ -50,5 +57,6 @@ __all__ = [
     "build_chain",
     "build_two_tier",
     "build_dumbbell",
+    "build_parallel",
     "build_static_routes",
 ]

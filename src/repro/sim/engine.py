@@ -13,6 +13,9 @@ Design notes
 * Cancellation is O(1): a cancelled event stays in the heap but is skipped
   when popped.  This is the standard "lazy deletion" trick and matters for
   protocols (TCP) that cancel and re-arm retransmit timers constantly.
+* :attr:`Simulator.pending` is O(1) too: a live-event counter is maintained
+  on push, cancel, and pop, so the observability layer can sample it as a
+  gauge without scanning the heap.
 * Time is a float in seconds, like ns-2.
 """
 
@@ -31,14 +34,28 @@ class Event:
     simulated time at which the callback fires.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # ``fired`` is distinct from ``cancelled`` on purpose: timer users
+        # (TCP) test ``cancelled`` to decide whether a re-arm is needed, and
+        # an executed timer must keep reading as not-cancelled.  The flag
+        # exists so the live-event counter never double-decrements when a
+        # caller cancels an event that already ran.
+        self.fired = False
+        self.sim = sim
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -70,6 +87,7 @@ class Simulator:
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._live = 0
         self._running = False
         self._stopped = False
 
@@ -82,8 +100,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time:.6f}, current time is {self.now:.6f}"
             )
-        event = Event(time, next(self._seq), fn, args)
+        event = Event(time, next(self._seq), fn, args, sim=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -96,8 +115,10 @@ class Simulator:
     def cancel(event: Optional[Event]) -> None:
         """Cancel a previously scheduled event.  Cancelling ``None`` or an
         already-cancelled event is a no-op, which simplifies timer code."""
-        if event is not None:
+        if event is not None and not event.cancelled:
             event.cancelled = True
+            if not event.fired and event.sim is not None:
+                event.sim._live -= 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -125,6 +146,8 @@ class Simulator:
                 heapq.heappop(heap)
                 if event.cancelled:
                     continue
+                event.fired = True
+                self._live -= 1
                 self.now = event.time
                 event.fn(*event.args)
                 processed += 1
@@ -146,8 +169,11 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still in the heap."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still in the heap.
+
+        Maintained incrementally on push/cancel/pop — O(1), so it is safe
+        to sample as a gauge every metrics interval."""
+        return self._live
 
     @property
     def events_processed(self) -> int:

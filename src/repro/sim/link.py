@@ -9,11 +9,17 @@ the paper's transfer-time results) carry over.
 Rate-limited disciplines (TVA's request class) can have a backlog without a
 sendable packet; the link then parks itself and re-polls at the time the
 discipline promises readiness via ``next_ready``.
+
+Links can be taken down and brought back up (fault injection,
+:mod:`repro.faults`): :meth:`Link.set_down` drains the queue backlog and
+refuses new arrivals, :meth:`Link.set_up` resumes transmission.  A packet
+already serialized onto the wire when the link goes down still propagates —
+the cut happens at the queue, matching a store-and-forward model.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..obs.metrics import Counter
 from .engine import Event, Simulator
@@ -53,12 +59,20 @@ class Link:
         #: (Section 3.2).  Topology builders set it for host access links
         #: and inter-domain links.
         self.boundary_ingress = False
+        #: Administrative/fault state; a down link drops arrivals and does
+        #: not start new transmissions.
+        self.up = True
         self._busy = False
         self._poll_event: Optional[Event] = None
         # Counters for utilization traces; external readers see ints via
         # the properties below.
         self._tx_packets = Counter("tx_packets")
         self._tx_bytes = Counter("tx_bytes")
+        # Packets lost to the link being down: the backlog drained by
+        # set_down() plus arrivals while down.  Kept separate from qdisc
+        # drops so queue-level accounting stays about queueing decisions.
+        self._fault_drops = Counter("fault_drops")
+        self._fault_drop_bytes = Counter("fault_drop_bytes")
         #: Optional packet -> class-name callback.  ``None`` (the default)
         #: keeps the transmit path classification-free; the observability
         #: layer sets it for instrumented links only, so per-class
@@ -91,23 +105,69 @@ class Link:
         return counter
 
     def metric_counters(self) -> Dict[str, Counter]:
-        return {"tx_packets": self._tx_packets, "tx_bytes": self._tx_bytes}
+        return {
+            "tx_packets": self._tx_packets,
+            "tx_bytes": self._tx_bytes,
+            "fault_drops": self._fault_drops,
+            "fault_drop_bytes": self._fault_drop_bytes,
+        }
+
+    @property
+    def fault_drops(self) -> int:
+        return self._fault_drops.value
+
+    @property
+    def fault_drop_bytes(self) -> int:
+        return self._fault_drop_bytes.value
 
     # ------------------------------------------------------------------
     def send(self, pkt: Packet) -> bool:
         """Hand a packet to this link's queue; starts transmission if idle.
 
-        Returns ``False`` when the queue discipline dropped the packet.
+        Returns ``False`` when the queue discipline dropped the packet or
+        the link is down.
         """
+        if not self.up:
+            self._fault_drops.inc()
+            self._fault_drop_bytes.inc(pkt.size)
+            return False
         ok = self.qdisc.enqueue(pkt)
         if ok and not self._busy:
             self._pump()
         return ok
 
     # ------------------------------------------------------------------
+    def set_down(self) -> List[Packet]:
+        """Take the link down: park transmission and drain the backlog.
+
+        Returns the drained packets (already counted on the link's fault
+        counters).  A packet mid-transmission still completes and
+        propagates; the next pump attempt finds the link down and stops.
+        Idempotent — downing a down link drains nothing.
+        """
+        if not self.up:
+            return []
+        self.up = False
+        self.sim.cancel(self._poll_event)
+        self._poll_event = None
+        drained = self.qdisc.drain()
+        for pkt in drained:
+            self._fault_drops.inc()
+            self._fault_drop_bytes.inc(pkt.size)
+        return drained
+
+    def set_up(self) -> None:
+        """Bring the link back; resumes service of any new backlog."""
+        if self.up:
+            return
+        self.up = True
+        if not self._busy:
+            self._pump()
+
+    # ------------------------------------------------------------------
     def _pump(self) -> None:
         """Try to put the next queued packet on the wire."""
-        if self._busy:
+        if self._busy or not self.up:
             return
         now = self.sim.now
         pkt = self.qdisc.dequeue(now)

@@ -87,6 +87,17 @@ class Qdisc:
         there is a backlog; rate-limited disciplines override this."""
         return now if self.backlog_pkts else None
 
+    def drain(self) -> List[Packet]:
+        """Remove and return every queued packet, in a deterministic order.
+
+        Used when a link goes down (fault injection): the backlog is lost
+        with the link.  Drained packets are *not* counted as qdisc drops —
+        the queue did nothing wrong — so byte/packet backlog accounting
+        returns to zero while the drop counters stay untouched; the caller
+        (the link) accounts the loss on its own fault counters.
+        """
+        raise NotImplementedError
+
     # -- shared bookkeeping ---------------------------------------------
     def _account_in(self, pkt: Packet) -> None:
         self.backlog_bytes += pkt.size
@@ -149,6 +160,13 @@ class DropTailQueue(Qdisc):
         pkt = self._queue.popleft()
         self._account_out(pkt)
         return pkt
+
+    def drain(self) -> List[Packet]:
+        drained = list(self._queue)
+        self._queue.clear()
+        for pkt in drained:
+            self._account_out(pkt)
+        return drained
 
 
 class DRRFairQueue(Qdisc):
@@ -253,6 +271,22 @@ class DRRFairQueue(Qdisc):
             if not queue:
                 self._retire(key)
             return head
+
+    def drain(self) -> List[Packet]:
+        # Round order is the deterministic service order, so draining in it
+        # keeps the result independent of dict iteration quirks.
+        drained: List[Packet] = []
+        for key in self._round:
+            drained.extend(self._queues[key])
+        for pkt in drained:
+            self._account_out(pkt)
+        self._queues.clear()
+        self._bytes.clear()
+        self._deficit.clear()
+        self._topped.clear()
+        self._round = []
+        self._round_idx = 0
+        return drained
 
     def _retire(self, key: Hashable) -> None:
         """Remove an emptied queue so idle keys hold no state or deficit."""
@@ -423,6 +457,20 @@ class PriorityScheduler(Qdisc):
             # Not enough tokens yet; park the head and let a lower class go.
             self._deferred[idx] = pkt
         return None
+
+    def drain(self) -> List[Packet]:
+        # Parked heads left the child on dequeue but are still in this
+        # scheduler's backlog accounting, so they drain here too.
+        drained: List[Packet] = []
+        for idx, (_, qdisc, _) in enumerate(self._classes):
+            deferred = self._deferred[idx]
+            if deferred is not None:
+                self._deferred[idx] = None
+                drained.append(deferred)
+            drained.extend(qdisc.drain())
+        for pkt in drained:
+            self._account_out(pkt)
+        return drained
 
     def next_ready(self, now: float) -> Optional[float]:
         best: Optional[float] = None

@@ -24,7 +24,7 @@ def _neighbors(node: Node) -> Iterable[Link]:
     return node.links_out
 
 
-def build_static_routes(nodes: List[Node]) -> None:
+def build_static_routes(nodes: List[Node], strict: bool = True) -> None:
     """Populate every node's routing table toward every host address.
 
     For each host H, run a BFS backwards from H over reverse links; for
@@ -32,17 +32,28 @@ def build_static_routes(nodes: List[Node]) -> None:
     route.  With symmetric topologies (every builder in this package creates
     duplex links) a forward BFS from each node would give identical results,
     but the backward sweep is O(hosts * edges) instead of O(nodes * edges).
+
+    Down links (``link.up`` is ``False``) are ignored, so a rebuild after a
+    fault routes around the failure.  Stale routes from a previous build are
+    always cleared first: a destination that became unreachable must not
+    keep a route through the dead link.  ``strict=False`` additionally
+    tolerates unreachable hosts instead of raising — the fault-injection
+    ``RouteChange`` event uses it, since a partitioned network is a valid
+    state mid-experiment (affected senders simply black-hole until the
+    partition heals and routes are rebuilt again).
     """
     # Build reverse adjacency: for BFS from the destination we need, for each
     # node, the links that point *at* it.
     incoming: Dict[Node, List[Link]] = {node: [] for node in nodes}
     for node in nodes:
         for link in node.links_out:
-            if link.dst in incoming:
+            if link.up and link.dst in incoming:
                 incoming[link.dst].append(link)
 
     hosts = [node for node in nodes if isinstance(node, Host)]
     for host in hosts:
+        for node in nodes:
+            node.routing.pop(host.address, None)
         dist: Dict[Node, int] = {host: 0}
         frontier = deque([host])
         while frontier:
@@ -56,7 +67,7 @@ def build_static_routes(nodes: List[Node]) -> None:
                 elif dist[prev] == dist[cur] + 1 and host.address not in prev.routing:
                     prev.routing[host.address] = link
         unreachable = [n.name for n in nodes if n is not host and n not in dist]
-        if unreachable:
+        if unreachable and strict:
             raise RoutingError(
                 f"host {host.name} (addr {host.address}) unreachable from: {unreachable}"
             )

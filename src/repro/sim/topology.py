@@ -57,6 +57,18 @@ class SchemeFactory:
         """Post-construction hook (e.g. pushback registers the links whose
         drops it monitors)."""
 
+    def reboot_router(self, router_name: str, now: float, rotate_secret: bool = True) -> bool:
+        """Fault-injection hook: the named router rebooted at ``now``.
+
+        A scheme that keeps per-router state (TVA's flow-state table and
+        secrets, SIFF's marking secret, pushback's filters) clears it here;
+        ``rotate_secret`` additionally discards any keying material, killing
+        outstanding authorizations through that router.  Returns ``True``
+        when the scheme held state for the router — the legacy Internet
+        keeps none, so the default is ``False``.
+        """
+        return False
+
     def metric_items(self) -> Iterable[Tuple[str, Callable[[], float]]]:
         """Scheme-specific metrics as ``(name, read)`` pairs; the
         observability layer registers them under ``scheme.<name>``.  The
@@ -85,6 +97,36 @@ class Dumbbell:
             if isinstance(node, Host) and node.address == address:
                 return node
         return None
+
+    def router_by_name(self, name: str) -> Router:
+        """Resolve a router by name; raises ``KeyError`` so fault specs
+        naming a nonexistent router fail fast."""
+        for node in self.nodes:
+            if isinstance(node, Router) and node.name == name:
+                return node
+        raise KeyError(f"no router named {name!r}")
+
+    def links_by_name(self, name: str) -> List[Link]:
+        """Resolve a fault-spec link name to concrete links.
+
+        ``"bottleneck"`` and ``"reverse"`` are aliases for the dumbbell's
+        two middle links; ``"A->B"`` names one direction exactly;
+        ``"A<->B"`` names both directions of a duplex pair.  Raises
+        ``KeyError`` when nothing matches.
+        """
+        if name == "bottleneck" and self.bottleneck is not None:
+            return [self.bottleneck]
+        if name == "reverse" and self.reverse_bottleneck is not None:
+            return [self.reverse_bottleneck]
+        if "<->" in name:
+            a, b = (part.strip() for part in name.split("<->", 1))
+            wanted = {(a, b), (b, a)}
+            found = [l for l in self.links if (l.src.name, l.dst.name) in wanted]
+        else:
+            found = [l for l in self.links if l.name == name]
+        if not found:
+            raise KeyError(f"no link named {name!r}")
+        return found
 
 
 def _duplex(
@@ -268,6 +310,56 @@ def build_chain(
     for i in range(n_hosts_per_end):
         net.users.append(add_host(f"src{i}", "user", routers[0]))
     net.destination = add_host("dst", "destination", routers[-1])
+    build_static_routes(net.nodes)
+    scheme.wire(net)
+    return net
+
+
+def build_parallel(
+    sim: Simulator,
+    scheme: SchemeFactory,
+    n_hosts: int = 2,
+    link_bps: float = 10e6,
+    access_bps: float = 100e6,
+    delay: float = 0.005,
+) -> Dumbbell:
+    """Two equal-cost paths between the edges: R1 -> {RA | RB} -> R2.
+
+    The topology for route-change experiments (Section 3.8): BFS breaks
+    the tie deterministically in favour of RA, so taking ``R1<->RA`` down
+    and rebuilding routes moves every flow onto RB — whose routers hold
+    different secrets and no cached flow state, exactly the mid-flow path
+    shift that demotes packets and forces re-requests.
+
+    ``net.bottleneck`` is the initially used ``R1->RA`` link.
+    """
+    net = Dumbbell(sim=sim)
+    r1 = Router(sim, "R1", scheme.make_router_processor("R1", trust_boundary=True))
+    ra = Router(sim, "RA", scheme.make_router_processor("RA", trust_boundary=False))
+    rb = Router(sim, "RB", scheme.make_router_processor("RB", trust_boundary=False))
+    r2 = Router(sim, "R2", scheme.make_router_processor("R2", trust_boundary=False))
+    net.left, net.right = r1, r2
+    net.nodes.extend((r1, ra, rb, r2))
+    upper, _ = _duplex(scheme, sim, r1, ra, link_bps, delay, "bottleneck", "core", net.links)
+    _duplex(scheme, sim, ra, r2, link_bps, delay, "bottleneck", "core", net.links)
+    _duplex(scheme, sim, r1, rb, link_bps, delay, "bottleneck", "core", net.links)
+    _duplex(scheme, sim, rb, r2, link_bps, delay, "bottleneck", "core", net.links)
+    net.bottleneck = upper
+
+    next_addr = 1
+
+    def add_host(name: str, role: str, side: Router) -> Host:
+        nonlocal next_addr
+        host = Host(sim, name, next_addr, shim=scheme.make_host_shim(role))
+        next_addr += 1
+        _duplex(scheme, sim, host, side, access_bps, delay,
+                "access_up", "access_down", net.links)
+        net.nodes.append(host)
+        return host
+
+    for i in range(n_hosts):
+        net.users.append(add_host(f"src{i}", "user", r1))
+    net.destination = add_host("dst", "destination", r2)
     build_static_routes(net.nodes)
     scheme.wire(net)
     return net

@@ -1,0 +1,123 @@
+"""Fault event parsing and serialization."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultSchedule,
+    LinkDown,
+    LinkUp,
+    RouteChange,
+    RouterReboot,
+    coerce_schedule,
+    parse_fault,
+)
+
+
+class TestParseFault:
+    def test_link_down_paired_with_up(self):
+        events = parse_fault("link-down:1.0:5.0:bottleneck")
+        assert events == (
+            LinkDown(at=1.0, link="bottleneck"),
+            LinkUp(at=5.0, link="bottleneck"),
+        )
+
+    def test_link_down_without_up(self):
+        (event,) = parse_fault("link-down:2.5")
+        assert event == LinkDown(at=2.5, link="bottleneck")
+
+    def test_link_down_with_name_no_up(self):
+        # A non-numeric second field is a link name, not an up time.
+        (event,) = parse_fault("link-down:1.0:reverse")
+        assert event == LinkDown(at=1.0, link="reverse")
+
+    def test_link_up(self):
+        (event,) = parse_fault("link-up:3.0:R1->RA")
+        assert event == LinkUp(at=3.0, link="R1->RA")
+
+    def test_reboot_defaults(self):
+        (event,) = parse_fault("reboot:4.0")
+        assert event == RouterReboot(at=4.0, router="R1", rotate_secret=True)
+
+    def test_reboot_keep_secret(self):
+        (event,) = parse_fault("reboot:4.0:R2:keep-secret")
+        assert event == RouterReboot(at=4.0, router="R2", rotate_secret=False)
+
+    def test_route_change(self):
+        (event,) = parse_fault("route-change:6.0")
+        assert event == RouteChange(at=6.0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode:1.0",
+            "link-down",
+            "link-down:soon",
+            "link-down:5.0:1.0",  # up before down
+            "route-change:1.0:extra",
+            "reboot:1.0:R1:keep-secret:extra",
+            "link-down:-1.0",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault(bad)
+
+
+class TestSerialization:
+    def test_event_round_trip_keeps_kind(self):
+        for event in (
+            LinkDown(at=1.0, link="reverse"),
+            LinkUp(at=2.0),
+            RouterReboot(at=3.0, router="R2", rotate_secret=False),
+            RouteChange(at=4.0),
+        ):
+            data = json.loads(json.dumps(event.to_dict()))
+            assert data["kind"]
+            assert FaultEvent.from_dict(data) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent.from_dict({"kind": "meteor", "at": 1.0})
+
+    def test_schedule_round_trip(self):
+        schedule = FaultSchedule.from_specs(
+            ["reboot:8.0", "link-down:1.0:5.0:bottleneck"]
+        )
+        data = json.loads(json.dumps(schedule.to_dict()))
+        assert FaultSchedule.from_dict(data) == schedule
+
+    def test_schedule_sorts_by_time(self):
+        schedule = FaultSchedule((RouteChange(at=5.0), RouterReboot(at=1.0)))
+        assert [event.at for event in schedule] == [1.0, 5.0]
+
+    def test_schedule_canonical_independent_of_order(self):
+        a = FaultSchedule((RouteChange(at=5.0), RouterReboot(at=1.0)))
+        b = FaultSchedule((RouterReboot(at=1.0), RouteChange(at=5.0)))
+        assert a == b
+        assert a.canonical() == b.canonical()
+        assert hash(a) == hash(b)
+
+    def test_empty_schedule_is_falsy(self):
+        assert not FaultSchedule()
+        assert len(FaultSchedule()) == 0
+        assert FaultSchedule.from_dict(None) == FaultSchedule()
+
+
+class TestCoerce:
+    def test_accepts_mixed_specs_and_events(self):
+        schedule = coerce_schedule(["reboot:2.0", RouteChange(at=3.0)])
+        assert len(schedule) == 2
+
+    def test_accepts_dicts(self):
+        schedule = coerce_schedule([{"kind": "route-change", "at": 1.0}])
+        assert schedule.events == (RouteChange(at=1.0),)
+
+    def test_single_string(self):
+        assert len(coerce_schedule("link-down:1.0:5.0")) == 2
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            coerce_schedule([42])

@@ -162,3 +162,54 @@ def test_run_is_not_reentrant():
 
     sim.at(1.0, recurse)
     sim.run()
+
+
+class TestPendingCounter:
+    """`Simulator.pending` is a live counter, not a heap scan."""
+
+    def test_counts_scheduled_events(self):
+        sim = Simulator()
+        events = [sim.at(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending == 5
+        sim.cancel(events[0])
+        assert sim.pending == 4
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.at(1.0, lambda: None)
+        other = sim.at(2.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert sim.pending == 1
+        sim.cancel(None)  # tolerated, no effect
+        assert sim.pending == 1
+        sim.cancel(other)
+        assert sim.pending == 0
+
+    def test_drains_to_zero_after_run(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.at(float(i), lambda: None)
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancelling_fired_event_does_not_underflow(self):
+        # TCP timers are cancelled after they may already have fired;
+        # that must not decrement the live count below reality.
+        sim = Simulator()
+        fired = sim.at(1.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        sim.cancel(fired)
+        assert fired.cancelled  # legacy semantics: flag still set
+        later = sim.at(2.0, lambda: None)
+        assert sim.pending == 1
+        sim.cancel(later)
+        assert sim.pending == 0
+
+    def test_run_until_keeps_future_events_pending(self):
+        sim = Simulator()
+        sim.at(1.0, lambda: None)
+        sim.at(5.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.pending == 1
