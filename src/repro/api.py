@@ -27,6 +27,11 @@ from typing import Callable, Optional, Sequence
 # -- scheme registry -------------------------------------------------------
 from .schemes import SCHEMES, build_scheme, scheme_names
 
+# -- static analysis (determinism & simulation safety) ---------------------
+from .lint import Finding, LintEngine
+from .lint import RULES as LINT_RULES
+from .lint import lint_paths
+
 # -- fault injection -------------------------------------------------------
 from .faults import (
     FaultInjector,
@@ -139,6 +144,11 @@ __all__ = [
     # registry
     "SCHEMES",
     "scheme_names",
+    # static analysis
+    "lint_paths",
+    "LintEngine",
+    "Finding",
+    "LINT_RULES",
     # specs and results
     "ExperimentConfig",
     "ScenarioSpec",

@@ -88,6 +88,9 @@ class PushbackProcessor(RouterProcessor):
         self.filters.clear()
         self._filter_age.clear()
         self._arrival_bytes.clear()
+        # Per-link resets are independent and Link keys have no order;
+        # insertion order is links_out construction order (deterministic).
+        # repro: allow-unordered-iter — independent per-link window reset
         for link, drops in self._drop_bytes.items():
             drops.clear()
             self._link_tx_mark[link] = link.tx_bytes
@@ -129,7 +132,10 @@ class PushbackProcessor(RouterProcessor):
         self.reviews += 1
         now = self.router.sim.now
         refreshed = set()
-        for link, drops in self._drop_bytes.items():
+        # Review links in name order: filter installation order (and with it
+        # the filters dict) becomes canonical rather than construction-order.
+        for link, drops in sorted(self._drop_bytes.items(),
+                                  key=lambda kv: kv[0].name):
             aggregate = self._congested_aggregate(link, drops)
             if aggregate is None:
                 continue
@@ -138,6 +144,7 @@ class PushbackProcessor(RouterProcessor):
         self._expire_filters(refreshed)
         # Reset window accounting.
         self._arrival_bytes.clear()
+        # repro: allow-unordered-iter — same independent reset as restart()
         for link, drops in self._drop_bytes.items():
             drops.clear()
             self._link_tx_mark[link] = link.tx_bytes
@@ -163,7 +170,7 @@ class PushbackProcessor(RouterProcessor):
         window = self.review_interval
         aggregate_arrivals = {
             in_name: nbytes * 8.0 / window
-            for (in_name, dst), nbytes in self._arrival_bytes.items()
+            for (in_name, dst), nbytes in sorted(self._arrival_bytes.items())
             if dst == aggregate and nbytes > 0
         }
         if not aggregate_arrivals:
@@ -171,7 +178,9 @@ class PushbackProcessor(RouterProcessor):
         mean_bps = sum(aggregate_arrivals.values()) / len(aggregate_arrivals)
         cutoff = self.identification_ratio * mean_bps
         identified = {
-            in_name: bps for in_name, bps in aggregate_arrivals.items() if bps > cutoff
+            in_name: bps
+            for in_name, bps in sorted(aggregate_arrivals.items())
+            if bps > cutoff
         }
         if not identified:
             self.identification_failures += 1

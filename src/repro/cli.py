@@ -12,6 +12,7 @@ Examples::
     python -m repro scenario --scheme tva --attack legacy --attackers 30
     python -m repro scenario --scheme tva --fault link-down:1.0:5.0:bottleneck
     python -m repro dynamics --jobs 2 --metrics   # recovery after a reboot
+    python -m repro lint                          # determinism static analysis
 
 Every simulation subcommand shares the sweep-runner flags: ``--jobs N``
 fans sweep points out across processes (default: all cores), ``--seeds
@@ -111,7 +112,7 @@ def _metrics_lines(metrics) -> List[str]:
     drops = finals.get("link.bottleneck.qdisc.drops")
     if drops is not None:
         lines.append(f"  bottleneck qdisc drops      : {drops}")
-    demotions = sum(v for name, v in finals.items()
+    demotions = sum(v for name, v in sorted(finals.items())
                     if name.startswith("scheme.router.")
                     and name.endswith(".demotions"))
     entry_series = [name for name in series
@@ -305,6 +306,63 @@ def _cmd_dynamics(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run the determinism & simulation-safety analyzer (repro.lint).
+
+    With no paths, lints the installed ``repro`` package itself — the
+    tree whose determinism guarantees the experiments depend on.  Exits
+    1 when any finding is neither suppressed inline nor baselined.
+    """
+    from pathlib import Path
+
+    from .lint import (
+        Baseline,
+        LintEngine,
+        LintError,
+        mark_baselined,
+        render_json,
+        render_text,
+    )
+
+    paths = [Path(p) for p in args.paths] if args.paths \
+        else [Path(__file__).parent]
+    select = None
+    if args.select:
+        select = [token.strip() for token in args.select.split(",")
+                  if token.strip()]
+    try:
+        engine = LintEngine(select=select)
+        findings, files_scanned = engine.lint_paths(paths)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if args.write_baseline:
+        if baseline_path is None:
+            print("error: --write-baseline requires --baseline PATH",
+                  file=sys.stderr)
+            return 2
+        baseline = Baseline.from_findings(findings)
+        baseline.save(baseline_path)
+        print(f"wrote {len(baseline)} fingerprint(s) to {baseline_path}")
+        return 0
+    if baseline_path is not None:
+        try:
+            known = Baseline.load(baseline_path).known()
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings = mark_baselined(findings, known)
+
+    if args.format == "json":
+        print(render_json(findings, files_scanned))
+    else:
+        print(render_text(findings, files_scanned,
+                          show_suppressed=args.show_suppressed))
+    return 1 if any(f.active for f in findings) else 0
+
+
 def _cmd_report(args) -> int:
     """Run every experiment at the chosen scale and write one markdown
     report — the whole evaluation in a single command.
@@ -391,11 +449,11 @@ def _cmd_report(args) -> int:
                 ]
                 occupancy = max(
                     (max((v for _, v in points_), default=0.0)
-                     for name, points_ in series.items()
+                     for name, points_ in sorted(series.items())
                      if name.endswith(".flowstate.entries")),
                     default=0.0)
                 demotions = sum(
-                    v for name, v in m["finals"].items()
+                    v for name, v in sorted(m["finals"].items())
                     if name.startswith("scheme.router.")
                     and name.endswith(".demotions"))
                 lines.append(
@@ -522,6 +580,27 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--seed", type=int, default=1)
     add_runner_flags(pd, seeds=False)
     pd.set_defaults(fn=_cmd_dynamics)
+
+    pl = sub.add_parser(
+        "lint",
+        help="determinism & simulation-safety static analysis (repro.lint)")
+    pl.add_argument("paths", nargs="*", metavar="PATH",
+                    help="files or directories to lint "
+                         "(default: the repro package itself)")
+    pl.add_argument("--format", choices=("text", "json"), default="text",
+                    help="report format (default: text)")
+    pl.add_argument("--select", default=None, metavar="RULES",
+                    help="comma-separated rule codes or slugs to run "
+                         "(e.g. D001,unordered-iter; default: all)")
+    pl.add_argument("--baseline", default=None, metavar="PATH",
+                    help="baseline file: known findings don't fail the run")
+    pl.add_argument("--write-baseline", action="store_true",
+                    help="write current unsuppressed findings to --baseline "
+                         "and exit 0")
+    pl.add_argument("--show-suppressed", action="store_true",
+                    help="also list suppressed/baselined findings in text "
+                         "output")
+    pl.set_defaults(fn=_cmd_lint)
 
     ps = sub.add_parser("scenario", help="one custom flood scenario")
     ps.add_argument("--scheme", choices=SCHEMES, default="tva")

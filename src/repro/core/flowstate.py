@@ -212,7 +212,9 @@ class FlowStateTable:
             heapq.heappop(heap)
         if len(heap) > max(self._HEAP_FLOOR, self._HEAP_RATIO * len(self._entries)):
             # Dict iteration order is insertion order, so the rebuilt heap
-            # is identical across processes and hash seeds.
+            # is identical across processes and hash seeds; sorting would
+            # add O(n log n) to this compaction hot path for nothing.
+            # repro: allow-unordered-iter — insertion order is arrival order
             rebuilt = [(e.ttl_expiry, f) for f, e in self._entries.items()]
             heapq.heapify(rebuilt)
             self._expiry_heap = rebuilt
@@ -230,6 +232,7 @@ class FlowStateTable:
         # Entries that were never charged have no heap presence; sweep them
         # only if the heap alone freed nothing (rare).
         if len(self._entries) >= self.capacity:
+            # repro: allow-unordered-iter — deletes are independent per flow
             dead = [f for f, e in self._entries.items() if e.expired(now)]
             for flow in dead:
                 del self._entries[flow]

@@ -114,7 +114,7 @@ def _metric_sum(run: RunResult, suffix: str) -> Optional[float]:
     if not run.metrics:
         return None
     finals = run.metrics.get("finals", {})
-    values = [v for k, v in finals.items() if k.endswith(suffix)]
+    values = [v for k, v in sorted(finals.items()) if k.endswith(suffix)]
     return sum(values) if values else None
 
 

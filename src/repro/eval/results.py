@@ -60,7 +60,7 @@ def normalize_metrics(metrics: Optional[Dict]) -> Optional[Dict]:
         "finals": dict(metrics.get("finals", {})),
         "series": {
             name: tuple(tuple(point) for point in points)
-            for name, points in metrics.get("series", {}).items()
+            for name, points in sorted(metrics.get("series", {}).items())
         },
     }
 

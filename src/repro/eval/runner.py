@@ -44,7 +44,10 @@ from .results import PointResult, RunResult, SweepResult, normalize_metrics
 #: expiry-heap compaction) + metrics-aware results.
 #: v3: fault-injection subsystem — specs gain a ``faults`` schedule and
 #: instrumented runs gain faults./hosts. metric scopes.
-CACHE_SALT = f"repro-runner-v3:{__version__}"
+#: v4: D002 lint cleanup — pushback reviews links and identifies
+#: aggregate contributors in canonical (sorted) order, which can shift
+#: filter installation in multi-congestion topologies.
+CACHE_SALT = f"repro-runner-v4:{__version__}"
 
 #: Destination-policy names a spec may carry (see ``_policy_factory``).
 POLICIES = ("server", "filtering", "oracle")
@@ -132,6 +135,10 @@ class ScenarioSpec:
         return replace(self, seed=seed)
 
     def __hash__(self) -> int:
+        # Cache filenames and cross-process ordering use the sha256 key()
+        # itself (see ResultCache.path_for); hash() of it never leaves
+        # this process.
+        # repro: allow-hash-builtin — in-process set/dict membership only
         return hash(self.key())
 
 

@@ -1,0 +1,90 @@
+"""Lint baselines: adopt the analyzer on a tree with known findings.
+
+A baseline file records the *fingerprints* of accepted findings so new
+code is held to the zero-findings bar while grandfathered sites don't
+fail CI.  Fingerprints are content-derived — sha256 over the display
+path, rule code, normalized source line, and an occurrence index — so
+they survive unrelated edits (line shifts) but expire the moment the
+flagged line itself changes.  Nothing position- or process-dependent
+(line numbers, ``hash()``, dict order) enters the file, so a baseline
+written on one machine matches on every other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+BASELINE_VERSION = 1
+
+
+def _fingerprint(path: str, code: str, snippet: str, occurrence: int) -> str:
+    normalized = " ".join(snippet.split())
+    payload = f"{path}|{code}|{normalized}|{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def fingerprints_for(findings: Sequence) -> List[str]:
+    """One fingerprint per finding, aligned with the input order.
+
+    Identical (path, code, snippet) triples get increasing occurrence
+    indices in (line, col) order, so duplicated lines stay distinct.
+    """
+    ordered = sorted(range(len(findings)),
+                     key=lambda i: findings[i].sort_key())
+    seen: Dict[Tuple[str, str, str], int] = {}
+    prints: List[str] = [""] * len(findings)
+    for i in ordered:
+        f = findings[i]
+        key = (f.path, f.code, " ".join(f.snippet.split()))
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        prints[i] = _fingerprint(f.path, f.code, f.snippet, occurrence)
+    return prints
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An accepted-findings set, round-trippable through JSON."""
+
+    fingerprints: frozenset = field(default_factory=frozenset)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence) -> "Baseline":
+        """Baseline every finding that is not already suppressed inline."""
+        prints = fingerprints_for(findings)
+        return cls(frozenset(
+            fp for f, fp in zip(findings, prints) if not f.suppressed
+        ))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "fingerprints" not in data:
+            raise ValueError(f"{path}: not a lint baseline file")
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION}); regenerate with "
+                f"--write-baseline"
+            )
+        return cls(frozenset(data["fingerprints"]))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "repro.lint",
+            "fingerprints": sorted(self.fingerprints),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+
+    def known(self) -> Set[str]:
+        return set(self.fingerprints)
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)

@@ -182,5 +182,6 @@ class Observation:
         return {
             "interval": self.interval,
             "finals": finals,
-            "series": {name: tuple(points) for name, points in series.items()},
+            "series": {name: tuple(points)
+                       for name, points in sorted(series.items())},
         }

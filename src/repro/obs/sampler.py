@@ -52,7 +52,7 @@ class Sampler:
         """
         out: Dict[str, List[Tuple[float, MetricValue]]] = {}
         for t, row in self.rows:
-            for name, value in row.items():
+            for name, value in sorted(row.items()):
                 out.setdefault(name, []).append((t, value))
         return {name: tuple(points) for name, points in sorted(out.items())}
 

@@ -65,12 +65,13 @@ class Qdisc:
 
     @property
     def drop_reasons(self) -> Dict[str, int]:
-        return {reason: c.value for reason, c in self._drop_reasons.items()}
+        return {reason: c.value
+                for reason, c in sorted(self._drop_reasons.items())}
 
     def metric_counters(self) -> Dict[str, Counter]:
         """This discipline's counters, keyed by metric suffix."""
         out = {"drops": self._drops, "drop_bytes": self._drop_bytes}
-        for reason, counter in self._drop_reasons.items():
+        for reason, counter in sorted(self._drop_reasons.items()):
             out[f"drops.{reason}"] = counter
         return out
 
@@ -334,7 +335,10 @@ class StochasticFairQueue(DRRFairQueue):
         # Deliberately NOT Python's hash(): that one is salted per process
         # (PYTHONHASHSEED), which would make bucket assignment — and thus
         # every SFQ result — differ across pool workers and cache replays.
-        # crc32 over a canonical encoding is stable everywhere.
+        # crc32 over a canonical encoding is stable everywhere.  This is
+        # the bug that motivated lint rule D001 (hash-builtin); a builtin
+        # hash() here would need a # repro: allow-hash-builtin it could
+        # never justify.
         key = repr((self._flow_key_fn(pkt), self.salt)).encode("utf-8")
         return zlib.crc32(key) % self.n_buckets
 

@@ -1,0 +1,23 @@
+"""D001 negative fixture: content-derived digests and justified uses."""
+
+import hashlib
+import zlib
+
+
+def bucket(flow, n):
+    return zlib.crc32(repr(flow).encode("utf-8")) % n
+
+
+def key_of(payload):
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class Thing:
+    def content_hash(self):
+        # An attribute call named hash() is not the builtin.
+        return self.hash()
+
+
+def justified(x):
+    # repro: allow-hash-builtin — fixture: in-process membership only
+    return hash(x)

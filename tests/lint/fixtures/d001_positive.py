@@ -1,0 +1,14 @@
+"""D001 positive fixture: builtin hash() reaching keying decisions."""
+
+
+def bucket(flow, n):
+    return hash(flow) % n  # expect: D001
+
+
+def key_of(obj):
+    return hash((obj.src, obj.dst))  # expect: D001
+
+
+def cache_name(spec):
+    digest = hash(spec.canonical())  # expect: D001
+    return f"{digest}.json"

@@ -1,0 +1,45 @@
+"""D002 negative fixture: canonicalized or order-free collection use."""
+
+DATA = {"b": 2, "a": 1}
+
+
+def export_sorted_items():
+    return [(k, v) for k, v in sorted(DATA.items())]
+
+
+def export_sorted_keys():
+    out = []
+    for name in sorted(DATA):
+        out.append(name)
+    return out
+
+
+def over_sorted_set():
+    members = {"b", "a"}
+    return [m for m in sorted(members)]
+
+
+def membership_only(x):
+    allowed = {"a", "b"}
+    return x in allowed
+
+
+def list_iteration():
+    total = 0
+    for v in [3, 1, 2]:
+        total += v
+    return total
+
+
+def rebound_name_is_ambiguous(flag):
+    # Bound to both a set and a list: the checker must not guess.
+    items = {1, 2}
+    if flag:
+        items = [1, 2]
+    for item in items:
+        yield item
+
+
+def justified():
+    # repro: allow-unordered-iter — fixture: order provably irrelevant
+    return max(v for v in DATA.values())

@@ -1,0 +1,38 @@
+"""D002 positive fixture: hash-ordered or history-ordered iteration."""
+
+DATA = {"b": 2, "a": 1}
+
+
+def export_items():
+    return [(k, v) for k, v in DATA.items()]  # expect: D002
+
+
+def export_keys():
+    out = []
+    for name in DATA.keys():  # expect: D002
+        out.append(name)
+    return out
+
+
+def export_values():
+    total = []
+    for v in DATA.values():  # expect: D002
+        total.append(v)
+    return total
+
+
+def over_set_literal():
+    total = 0
+    for x in {3, 1, 2}:  # expect: D002
+        total += x
+    return total
+
+
+def over_set_constructor(names):
+    for name in set(names):  # expect: D002
+        yield name
+
+
+def over_set_local():
+    members = frozenset(["b", "a"])
+    return [m for m in members]  # expect: D002

@@ -1,0 +1,25 @@
+"""D003 negative fixture: every draw derives from an explicit seed."""
+
+import random
+from random import Random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def make_bare_rng(seed):
+    return Random(seed * 1000 + 7)
+
+
+def derive(rng):
+    return random.Random(rng.getrandbits(32))
+
+
+def draw(rng):
+    # Instance methods on a seeded RNG are the sanctioned pattern.
+    return rng.random()
+
+
+def pick(rng, items):
+    return rng.choice(items)

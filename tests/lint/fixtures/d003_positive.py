@@ -1,0 +1,33 @@
+"""D003 positive fixture: ambient or unseeded randomness."""
+
+import random
+from random import Random, randint
+
+
+def draw():
+    return random.random()  # expect: D003
+
+
+def pick(items):
+    return random.choice(items)  # expect: D003
+
+
+def scramble(items):
+    random.shuffle(items)  # expect: D003
+    return items
+
+
+def make_rng():
+    return random.Random()  # expect: D003
+
+
+def make_bare_rng():
+    return Random()  # expect: D003
+
+
+def roll():
+    return randint(1, 6)  # expect: D003
+
+
+def entropy():
+    return random.SystemRandom()  # expect: D003

@@ -1,0 +1,20 @@
+# repro: module=repro.eval.fixture
+"""D004 negative fixture: wall-clock timing is fine outside the core,
+and simulated time is always fine."""
+
+import time
+
+
+def bench(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def wall():
+    return time.time()
+
+
+def simulated(sim):
+    # The simulator clock is the sanctioned time source everywhere.
+    return sim.now

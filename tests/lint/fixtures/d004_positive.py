@@ -1,0 +1,30 @@
+# repro: module=repro.sim.fixture
+"""D004 positive fixture: wall-clock reads inside the simulation core.
+
+The ``# repro: module=`` override above puts this file in D004's scope
+exactly as if it lived under ``src/repro/sim/``.
+"""
+
+import time
+from datetime import date, datetime
+from time import perf_counter
+
+
+def stamp():
+    return time.time()  # expect: D004
+
+
+def tick():
+    return time.monotonic()  # expect: D004
+
+
+def bench():
+    return perf_counter()  # expect: D004
+
+
+def when():
+    return datetime.now()  # expect: D004
+
+
+def today():
+    return date.today()  # expect: D004

@@ -1,0 +1,19 @@
+"""D005 negative fixture: immutable or sentinel defaults."""
+
+
+def collect(items, acc=None):
+    acc = list(acc or ())
+    acc.extend(items)
+    return acc
+
+
+def window(bounds=(0, 1)):
+    return bounds
+
+
+def label(name="default", count=0, ratio=1.5):
+    return f"{name}:{count}:{ratio}"
+
+
+def flagged(enabled=False, mode=None):
+    return mode if enabled else None

@@ -1,0 +1,20 @@
+"""D005 positive fixture: mutable default arguments."""
+
+
+def collect(items, acc=[]):  # expect: D005
+    acc.extend(items)
+    return acc
+
+
+def tally(counts={}):  # expect: D005
+    return counts
+
+
+def unique(xs, seen=set()):  # expect: D005
+    seen.update(xs)
+    return seen
+
+
+def build(parts, joiner=list()):  # expect: D005
+    joiner.extend(parts)
+    return joiner

@@ -1,0 +1,26 @@
+# repro: module=repro.eval.fixture
+"""S001 negative fixture: named, handled exceptions — and best-effort
+``pass`` handlers outside the simulation core."""
+
+
+def handled(fn):
+    try:
+        return fn()
+    except ValueError as exc:
+        raise RuntimeError("bad value") from exc
+
+
+def defaulted(fn):
+    try:
+        return fn()
+    except (OSError, KeyError):
+        return None
+
+
+def best_effort_cleanup(path, os_module):
+    # Outside repro.{sim,core,transport,faults} a best-effort pass is
+    # allowed (e.g. the result cache's unlink).
+    try:
+        os_module.unlink(path)
+    except OSError:
+        pass

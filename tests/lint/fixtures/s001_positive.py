@@ -1,0 +1,28 @@
+# repro: module=repro.sim.fixture
+"""S001 positive fixture: bare and silently swallowed handlers.
+
+Module override puts the swallow check in scope (simulation core)."""
+
+
+def bare(fn):
+    try:
+        return fn()
+    except:  # expect: S001
+        return None
+
+
+def swallowed(fn):
+    try:
+        return fn()
+    except ValueError:  # expect: S001
+        pass
+
+
+def swallowed_loop(items, fn):
+    out = []
+    for item in items:
+        try:
+            out.append(fn(item))
+        except KeyError:  # expect: S001
+            continue
+    return out

@@ -1,0 +1,106 @@
+"""Baseline round-trip, fingerprint stability, and versioning."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    LintEngine,
+    fingerprints_for,
+    mark_baselined,
+)
+
+DIRTY = ("def f(x):\n"
+         "    return hash(x)\n"
+         "\n"
+         "def g(d):\n"
+         "    return [k for k in d.keys()]\n")
+
+
+def lint(source):
+    return LintEngine().lint_source(source, path="pkg/mod.py",
+                                    module="fixture")
+
+
+def test_round_trip(tmp_path):
+    findings = lint(DIRTY)
+    assert len(findings) == 2
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+
+    reloaded = Baseline.load(path)
+    assert reloaded == baseline
+    marked = mark_baselined(lint(DIRTY), reloaded.known())
+    assert all(f.baselined for f in marked)
+    assert not any(f.active for f in marked)
+
+
+def test_new_finding_stays_active(tmp_path):
+    baseline = Baseline.from_findings(lint(DIRTY))
+    grown = DIRTY + "\ndef h(y):\n    return hash((y, y))\n"
+    marked = mark_baselined(lint(grown), baseline.known())
+    active = [f for f in marked if f.active]
+    assert [f.snippet for f in active] == ["return hash((y, y))"]
+
+
+def test_fingerprints_survive_line_shifts():
+    shifted = "# a new leading comment\n\n" + DIRTY
+    assert fingerprints_for(lint(DIRTY)) == fingerprints_for(lint(shifted))
+
+
+def test_fingerprint_changes_when_line_changes():
+    changed = DIRTY.replace("hash(x)", "hash(x + 1)")
+    assert set(fingerprints_for(lint(DIRTY))) \
+        != set(fingerprints_for(lint(changed)))
+
+
+def test_duplicate_lines_get_distinct_fingerprints():
+    dup = ("def f(x):\n"
+           "    return hash(x)\n"
+           "\n"
+           "def g(x):\n"
+           "    return hash(x)\n")
+    findings = lint(dup)
+    prints = fingerprints_for(findings)
+    assert len(findings) == 2
+    assert len(set(prints)) == 2
+    # The whole set baselines cleanly.
+    marked = mark_baselined(findings, Baseline.from_findings(findings).known())
+    assert not any(f.active for f in marked)
+
+
+def test_suppressed_findings_are_not_baselined():
+    src = ("def f(x):\n"
+           "    return hash(x)  # repro: allow-hash-builtin — fixture\n")
+    findings = lint(src)
+    assert Baseline.from_findings(findings).fingerprints == frozenset()
+
+
+def test_baseline_is_pure_content(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(lint(DIRTY)).save(path)
+    data = json.loads(path.read_text())
+    assert data["version"] == 1
+    assert data["tool"] == "repro.lint"
+    assert data["fingerprints"] == sorted(data["fingerprints"])
+    # Saving again produces identical bytes (no timestamps, no ordering
+    # drift).
+    first = path.read_text()
+    Baseline.from_findings(lint(DIRTY)).save(path)
+    assert path.read_text() == first
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "fingerprints": []}))
+    with pytest.raises(ValueError, match="unsupported baseline version"):
+        Baseline.load(path)
+
+
+def test_non_baseline_file_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"something": "else"}))
+    with pytest.raises(ValueError, match="not a lint baseline"):
+        Baseline.load(path)

@@ -1,0 +1,83 @@
+"""Report formats: the JSON schema contract and the text rendering."""
+
+import json
+
+from repro.lint import RULES, LintEngine, render_json, render_text
+
+DIRTY = ("def f(x):\n"
+         "    return hash(x)\n"
+         "\n"
+         "def g(x):\n"
+         "    return hash(x)  # repro: allow-hash-builtin — fixture\n")
+
+
+def lint(source=DIRTY):
+    return LintEngine().lint_source(source, path="pkg/mod.py",
+                                    module="fixture")
+
+
+class TestJsonSchema:
+    def payload(self):
+        return json.loads(render_json(lint(), files_scanned=1))
+
+    def test_top_level_keys(self):
+        data = self.payload()
+        assert data["version"] == 1
+        assert data["tool"] == "repro.lint"
+        assert set(data["counts"]) == {
+            "total", "active", "suppressed", "baselined", "files"}
+
+    def test_counts_are_consistent(self):
+        data = self.payload()
+        counts = data["counts"]
+        assert counts["total"] == len(data["findings"]) == 2
+        assert counts["active"] == 1
+        assert counts["suppressed"] == 1
+        assert counts["baselined"] == 0
+        assert counts["files"] == 1
+
+    def test_rules_table_covers_registry(self):
+        data = self.payload()
+        assert set(data["rules"]) == {rule.code for rule in RULES}
+        for meta in data["rules"].values():
+            assert set(meta) == {"name", "summary", "motivation"}
+
+    def test_finding_fields(self):
+        data = self.payload()
+        for item in data["findings"]:
+            assert set(item) == {
+                "path", "line", "col", "code", "rule", "message",
+                "snippet", "suppressed", "baselined", "fingerprint"}
+            assert isinstance(item["line"], int)
+            assert isinstance(item["col"], int)
+            assert isinstance(item["suppressed"], bool)
+            assert item["path"] == "pkg/mod.py"
+            assert item["fingerprint"]
+
+    def test_fingerprints_distinct_for_duplicate_snippets(self):
+        data = self.payload()
+        prints = [item["fingerprint"] for item in data["findings"]]
+        assert len(set(prints)) == len(prints)
+
+    def test_byte_identical_across_calls(self):
+        assert render_json(lint(), 1) == render_json(lint(), 1)
+
+
+class TestText:
+    def test_active_finding_listed(self):
+        text = render_text(lint(), files_scanned=1)
+        assert "pkg/mod.py:2:12: D001 [hash-builtin]" in text
+        assert "return hash(x)" in text
+
+    def test_suppressed_hidden_by_default(self):
+        text = render_text(lint(), files_scanned=1)
+        assert "(suppressed)" not in text
+        assert "1 finding(s) (1 suppressed, 0 baselined) in 1 file(s)" in text
+
+    def test_show_suppressed(self):
+        text = render_text(lint(), files_scanned=1, show_suppressed=True)
+        assert "(suppressed)" in text
+
+    def test_clean_summary(self):
+        text = render_text([], files_scanned=3)
+        assert text == "0 finding(s) (0 suppressed, 0 baselined) in 3 file(s)"

@@ -1,0 +1,141 @@
+"""Fixture-driven rule tests: every rule has positive and negative
+fixtures under ``tests/lint/fixtures/``.
+
+A fixture line carrying ``# expect: CODE`` (comma-separated for several)
+declares that exactly those rules fire *unsuppressed* on that line; the
+test compares the full {(line, code)} set per file, so both missed
+findings and false positives fail loudly.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, LintEngine
+
+FIXTURES = Path(__file__).parent / "fixtures"
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9,\s]+)")
+
+ALL_CODES = sorted(rule.code for rule in RULES)
+
+
+def expected_findings(source):
+    expected = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _EXPECT_RE.search(text)
+        if match:
+            for code in match.group(1).split(","):
+                code = code.strip()
+                if code:
+                    expected.add((lineno, code))
+    return expected
+
+
+def lint_fixture(name):
+    path = FIXTURES / name
+    source = path.read_text(encoding="utf-8")
+    findings = LintEngine().lint_source(source, path=str(path))
+    return source, findings
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_positive_fixture_fires(code):
+    source, findings = lint_fixture(f"{code.lower()}_positive.py")
+    expected = expected_findings(source)
+    assert expected, f"{code} positive fixture has no # expect markers"
+    got = {(f.line, f.code) for f in findings if not f.suppressed}
+    assert got == expected
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_negative_fixture_is_clean(code):
+    _, findings = lint_fixture(f"{code.lower()}_negative.py")
+    unsuppressed = [f for f in findings if not f.suppressed]
+    assert unsuppressed == []
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_every_rule_has_both_fixtures(code):
+    assert (FIXTURES / f"{code.lower()}_positive.py").exists()
+    assert (FIXTURES / f"{code.lower()}_negative.py").exists()
+
+
+# -- rule-specific edge cases ----------------------------------------------
+
+def lint_snippet(source, module="fixture"):
+    return LintEngine().lint_source(source, path="snippet.py", module=module)
+
+
+def codes_of(findings):
+    return sorted({f.code for f in findings if not f.suppressed})
+
+
+def test_d001_ignores_attribute_hash():
+    assert codes_of(lint_snippet("x = obj.hash()\n")) == []
+
+
+def test_d002_dict_view_with_args_not_flagged():
+    # A .items(...) with arguments is not the builtin dict view.
+    assert codes_of(lint_snippet(
+        "def f(tree):\n"
+        "    for x in tree.items('branch'):\n"
+        "        yield x\n")) == []
+
+
+def test_d002_set_comprehension_iterable():
+    found = lint_snippet(
+        "def f(xs):\n"
+        "    for x in {v for v in xs}:\n"
+        "        yield x\n")
+    assert codes_of(found) == ["D002"]
+
+
+def test_d003_seeded_random_keyword():
+    assert codes_of(lint_snippet(
+        "import random\nrng = random.Random(x=3)\n")) == []
+
+
+def test_d004_out_of_scope_module_is_clean():
+    source = "import time\n\ndef f():\n    return time.time()\n"
+    assert codes_of(lint_snippet(source, module="repro.eval.bench")) == []
+    assert codes_of(lint_snippet(source, module="repro.sim.engine")) \
+        == ["D004"]
+
+
+@pytest.mark.parametrize("module,expect", [
+    ("repro.sim.engine", ["S001"]),
+    ("repro.core.router", ["S001"]),
+    ("repro.transport.tcp", ["S001"]),
+    ("repro.faults.injector", ["S001"]),
+    ("repro.eval.cache", []),
+    ("repro.lint.engine", []),
+])
+def test_s001_swallow_scope(module, expect):
+    source = ("def f(fn):\n"
+              "    try:\n"
+              "        return fn()\n"
+              "    except ValueError:\n"
+              "        pass\n")
+    assert codes_of(lint_snippet(source, module=module)) == expect
+
+
+def test_s001_bare_except_fires_everywhere():
+    source = ("def f(fn):\n"
+              "    try:\n"
+              "        return fn()\n"
+              "    except:\n"
+              "        return None\n")
+    assert codes_of(lint_snippet(source, module="repro.eval.cache")) \
+        == ["S001"]
+
+
+def test_d005_lambda_default():
+    assert codes_of(lint_snippet("f = lambda xs=[]: xs\n")) == ["D005"]
+
+
+def test_rules_metadata_complete():
+    for rule in RULES:
+        assert rule.code and rule.name and rule.summary and rule.motivation
+    assert len({r.code for r in RULES}) == len(RULES)
+    assert len({r.name for r in RULES}) == len(RULES)
