@@ -32,6 +32,17 @@ from .lint import Finding, LintEngine
 from .lint import RULES as LINT_RULES
 from .lint import lint_paths
 
+# -- benchmarking (deterministic op counts + wall clock) -------------------
+from .perf import (
+    PERF,
+    BenchReport,
+    OpCountProbe,
+    OpCounts,
+    PerfCounters,
+    run_bench,
+    write_bench_report,
+)
+
 # -- fault injection -------------------------------------------------------
 from .faults import (
     FaultInjector,
@@ -162,6 +173,14 @@ __all__ = [
     "run_flood_scenario",
     "build_flood_specs",
     "build_fig11_spec",
+    # benchmarking
+    "PERF",
+    "PerfCounters",
+    "OpCounts",
+    "OpCountProbe",
+    "BenchReport",
+    "run_bench",
+    "write_bench_report",
     # faults
     "FaultInjector",
     "FaultSchedule",

@@ -363,6 +363,61 @@ def _cmd_lint(args) -> int:
     return 1 if any(f.active for f in findings) else 0
 
 
+def _cmd_bench(args) -> int:
+    """Run the repro.perf benchmark suite and write ``BENCH_perf.json``.
+
+    Wall-clock numbers are informational; the exit status gates only on
+    the deterministic op-count guard (``benchmarks/opcount_guard.json``),
+    and only when running with ``--quick`` (the mode the guard records).
+    """
+    from pathlib import Path
+
+    from .perf.harness import (
+        check_opcount_guard,
+        load_guard,
+        run_bench,
+        write_bench_report,
+        write_guard,
+    )
+
+    if args.update_guard and not args.quick:
+        print("error: the guard records quick-mode counts; "
+              "use --quick with --update-guard", file=sys.stderr)
+        return 2
+
+    report = run_bench(quick=args.quick)
+    write_bench_report(report, args.output)
+    print(report.table())
+    print(f"\nwrote {args.output}")
+
+    guard_path = Path(args.guard)
+    if args.update_guard:
+        write_guard(report, guard_path)
+        print(f"updated op-count guard {guard_path}")
+        return 0
+    if not args.quick:
+        print("(op-count guard skipped: it records quick-mode counts)")
+        return 0
+    if not guard_path.exists():
+        print(f"(no op-count guard at {guard_path}; "
+              "create one with --update-guard)")
+        return 0
+    try:
+        problems = check_opcount_guard(report, load_guard(guard_path))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if problems:
+        print(f"\nop-count guard FAILED ({guard_path}):", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        print("if the change is intentional, regenerate with: "
+              "repro bench --quick --update-guard", file=sys.stderr)
+        return 1
+    print(f"op-count guard OK ({guard_path})")
+    return 0
+
+
 def _cmd_report(args) -> int:
     """Run every experiment at the chosen scale and write one markdown
     report — the whole evaluation in a single command.
@@ -601,6 +656,23 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also list suppressed/baselined findings in text "
                          "output")
     pl.set_defaults(fn=_cmd_lint)
+
+    pb = sub.add_parser(
+        "bench",
+        help="per-packet fast-path benchmarks (repro.perf)")
+    pb.add_argument("--quick", action="store_true",
+                    help="small workloads (what CI runs; the op-count "
+                         "guard records this mode)")
+    pb.add_argument("--output", default="BENCH_perf.json", metavar="PATH",
+                    help="report path (default: BENCH_perf.json)")
+    pb.add_argument("--guard", default="benchmarks/opcount_guard.json",
+                    metavar="PATH",
+                    help="deterministic op-count guard to check "
+                         "(default: benchmarks/opcount_guard.json)")
+    pb.add_argument("--update-guard", action="store_true",
+                    help="rewrite the guard from this run instead of "
+                         "checking it (requires --quick)")
+    pb.set_defaults(fn=_cmd_bench)
 
     ps = sub.add_parser("scenario", help="one custom flood scenario")
     ps.add_argument("--scheme", choices=SCHEMES, default="tva")

@@ -95,6 +95,38 @@ def capability_from_precapability(
     return Capability(precap.timestamp, inner)
 
 
+def capability_expired(timestamp: int, t_seconds: int, now: float) -> bool:
+    """Expiry check against the modulo-256 clock: the capability is live
+    while the elapsed time since its timestamp is at most T.  T <= 63
+    (6-bit field) satisfies the paper's requirement that T be at most half
+    the rollover so modulo comparison is unambiguous.
+
+    Split out from :func:`validate_capability` because expiry depends on
+    ``now`` and must be re-checked per packet, while the hash verdict is a
+    pure function of (secret, src, dst, cap, N, T) and can be cached — the
+    Table 1 cached/uncached distinction.
+    """
+    elapsed = (int(now) % TIMESTAMP_MODULO - timestamp) % TIMESTAMP_MODULO
+    return elapsed > t_seconds
+
+
+def check_capability_hashes(
+    secret: bytes,
+    src: int,
+    dst: int,
+    cap: Capability,
+    n_bytes: int,
+    t_seconds: int,
+) -> bool:
+    """The two-hash recomputation of Section 3.5, with the secret already
+    resolved.  Pure in its arguments, hence safely memoizable per router
+    (see ``TvaRouterCore``'s validation cache)."""
+    expected_pre = keyed_hash56(secret, src, dst, cap.timestamp)
+    precap = PreCapability(cap.timestamp, expected_pre)
+    expected = capability_from_precapability(precap, n_bytes, t_seconds)
+    return expected.hash56 == cap.hash56
+
+
 def validate_capability(
     secrets: SecretManager,
     src: int,
@@ -106,18 +138,12 @@ def validate_capability(
 ) -> bool:
     """Router-side: recompute both hashes and check expiry (Section 3.5).
 
-    Expiry uses the modulo-256 clock: the capability is live while the
-    elapsed time since its timestamp is at most T.  T <= 63 (6-bit field)
-    satisfies the paper's requirement that T be at most half the rollover
-    so modulo comparison is unambiguous.
+    The uncached path: resolve the secret from the timestamp, check
+    expiry, recompute both hashes.
     """
     secret = secrets.secret_for_timestamp(cap.timestamp, now)
     if secret is None:
         return False
-    elapsed = (int(now) % TIMESTAMP_MODULO - cap.timestamp) % TIMESTAMP_MODULO
-    if elapsed > t_seconds:
+    if capability_expired(cap.timestamp, t_seconds, now):
         return False
-    expected_pre = keyed_hash56(secret, src, dst, cap.timestamp)
-    precap = PreCapability(cap.timestamp, expected_pre)
-    expected = capability_from_precapability(precap, n_bytes, t_seconds)
-    return expected.hash56 == cap.hash56
+    return check_capability_hashes(secret, src, dst, cap, n_bytes, t_seconds)

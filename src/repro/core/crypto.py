@@ -12,24 +12,49 @@ The paper's prototype uses an AES-based hash and SHA1; we use BLAKE2b with
 a key, truncated to 56 bits — same security role, and the relative cost
 structure (1 hash for a request, 2 to validate a capability, 3 for an
 uncached renewal) is preserved, which is what Table 1 and Figure 12 measure.
+
+Fast path: struct codecs are precompiled (one :class:`struct.Struct` per
+field arity, built once), and epoch secrets are memoized in a tiny LRU —
+a router only ever validates against the current or previous epoch, so
+2-3 live entries make secret derivation amortized-free instead of one
+BLAKE2b per validated packet.
 """
 
 from __future__ import annotations
 
-import hashlib
-import struct
-from typing import Optional
+from hashlib import blake2b
+from struct import Struct
+from typing import Dict, Optional
 
+from ..perf.counters import PERF
 from .params import HASH_BITS, SECRET_PERIOD, TIMESTAMP_MODULO
 
 _HASH_BYTES = HASH_BITS // 8  # 7 bytes = 56 bits
 _MASK56 = (1 << HASH_BITS) - 1
 
+#: Precompiled packers, one per field arity.  ``keyed_hash56`` is called
+#: with 3 or 4 fields on every hash-bearing packet; rebuilding the format
+#: string (and re-parsing it inside struct) per call was measurable.
+_PACKERS: Dict[int, Struct] = {}
+
+#: Epoch-number codec for secret derivation.
+_EPOCH_PACKER = Struct("<q")
+
+#: Live epochs per router: validation only ever consults the current or
+#: the previous epoch, so 3 entries (current, previous, plus one slack
+#: for a mint racing a rotation) never thrash.
+_SECRET_CACHE_SIZE = 3
+
 
 def keyed_hash56(key: bytes, *fields: int) -> int:
     """56-bit keyed hash of a tuple of unsigned integers."""
-    payload = struct.pack(f"<{len(fields)}Q", *fields)
-    digest = hashlib.blake2b(payload, digest_size=_HASH_BYTES, key=key).digest()
+    packer = _PACKERS.get(len(fields))
+    if packer is None:
+        # repro: allow-p001 — miss branch of the per-arity codec memo
+        packer = _PACKERS[len(fields)] = Struct(f"<{len(fields)}Q")
+    PERF.hashes += 1
+    # repro: allow-p001 — this call IS the per-packet hash being measured
+    digest = blake2b(packer.pack(*fields), digest_size=_HASH_BYTES, key=key).digest()
     return int.from_bytes(digest, "big") & _MASK56
 
 
@@ -42,6 +67,10 @@ class SecretManager:
     behaving exactly like the paper's current/previous pair: validation
     only ever consults the epoch implied by the capability's timestamp, and
     refuses timestamps older than one full epoch.
+
+    Derived secrets are memoized per epoch (bounded LRU, oldest epoch
+    evicted first): a secret is a pure function of (seed, epoch), so the
+    cache can never change behaviour, only skip the derivation hash.
     """
 
     def __init__(self, seed: bytes, period: float = SECRET_PERIOD) -> None:
@@ -51,17 +80,32 @@ class SecretManager:
             raise ValueError("seed must be non-empty")
         self.seed = seed
         self.period = period
+        self._secret_cache: Dict[int, bytes] = {}
 
     # ------------------------------------------------------------------
     def epoch(self, now: float) -> int:
         return int(now // self.period)
 
     def secret_for_epoch(self, epoch: int) -> bytes:
+        cached = self._secret_cache.get(epoch)
+        if cached is not None:
+            PERF.secret_cache_hits += 1
+            return cached
         if epoch < 0:
             raise ValueError("epoch must be non-negative")
-        return hashlib.blake2b(
-            struct.pack("<q", epoch), digest_size=32, key=self.seed
+        PERF.secret_derivations += 1
+        PERF.hashes += 1
+        # repro: allow-p001 — miss path; amortized away by the epoch LRU
+        secret = blake2b(
+            _EPOCH_PACKER.pack(epoch), digest_size=32, key=self.seed
         ).digest()
+        cache = self._secret_cache
+        cache[epoch] = secret
+        if len(cache) > _SECRET_CACHE_SIZE:
+            # Evict the numerically oldest epoch — deterministic, and the
+            # natural victim under a monotonically advancing clock.
+            del cache[min(cache)]
+        return secret
 
     def current_secret(self, now: float) -> bytes:
         return self.secret_for_epoch(self.epoch(now))
@@ -71,9 +115,9 @@ class SecretManager:
         """The router's 8-bit modulo-256 seconds clock (Section 3.4)."""
         return int(now) % TIMESTAMP_MODULO
 
-    def secret_for_timestamp(self, ts: int, now: float) -> Optional[bytes]:
-        """Resolve which secret (current or previous) minted a capability
-        whose timestamp is ``ts``, or ``None`` if ``ts`` is too old.
+    def epoch_for_timestamp(self, ts: int, now: float) -> Optional[int]:
+        """The epoch whose secret minted a capability stamped ``ts``, or
+        ``None`` if ``ts`` is invalid or too old to validate.
 
         With ``period`` = half the timestamp rollover (the paper's 128 s),
         the timestamp's position in the modulo-256 clock uniquely selects
@@ -91,5 +135,13 @@ class SecretManager:
         issue_epoch = int(issue_time // self.period)
         # Only the current or the previous secret may validate.
         if self.epoch(now) - issue_epoch > 1:
+            return None
+        return issue_epoch
+
+    def secret_for_timestamp(self, ts: int, now: float) -> Optional[bytes]:
+        """Resolve which secret (current or previous) minted a capability
+        whose timestamp is ``ts``, or ``None`` if ``ts`` is too old."""
+        issue_epoch = self.epoch_for_timestamp(ts, now)
+        if issue_epoch is None:
             return None
         return self.secret_for_epoch(issue_epoch)

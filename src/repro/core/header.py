@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from .bits import BitReader, BitWriter
+from .bits import BitReader, BitWriter, pack_u64_array
 from .capability import Capability, PreCapability
 from .params import (
     FLOW_NONCE_BITS,
@@ -70,8 +70,11 @@ class ReturnInfo:
             writer.write(len(self.capabilities), 8)
             writer.write(self.n_bytes // N_UNIT_BYTES, N_FIELD_BITS)
             writer.write(self.t_seconds, T_FIELD_BITS)
-            for cap in self.capabilities:
-                writer.write(cap.as_int(), 64)
+            # Grant prefix is 32 bits, so the capability array is
+            # byte-aligned: bulk-encode it through the cached struct codec.
+            return writer.getvalue() + pack_u64_array(
+                [cap.as_int() for cap in self.capabilities]
+            )
         return writer.getvalue()
 
     @classmethod
@@ -84,9 +87,10 @@ class ReturnInfo:
             count = reader.read(8)
             info.n_bytes = reader.read(N_FIELD_BITS) * N_UNIT_BYTES
             info.t_seconds = reader.read(T_FIELD_BITS)
-            for _ in range(count):
-                raw = reader.read(64)
-                info.capabilities.append(Capability(raw >> 56, raw & ((1 << 56) - 1)))
+            info.capabilities = [
+                Capability(raw >> 56, raw & ((1 << 56) - 1))
+                for raw in reader.read_u64_array(count)
+            ]
         return info
 
 
@@ -116,8 +120,18 @@ class _Header:
             return self.return_info.pack()
         return b""
 
+    def _tail_size(self) -> int:
+        if self.return_info is not None:
+            return self.return_info.wire_size()
+        return 0
+
     def wire_size(self) -> int:
-        return len(self.pack())
+        """Encoded size in bytes, computed arithmetically.
+
+        Must equal ``len(self.pack())`` exactly (asserted by the codec
+        tests) — the simulator charges link bytes from this without paying
+        for an encode."""
+        raise NotImplementedError  # pragma: no cover - overridden
 
     def pack(self) -> bytes:  # pragma: no cover - overridden
         raise NotImplementedError
@@ -133,6 +147,16 @@ class RequestHeader(_Header):
 
     KIND = KIND_REQUEST
 
+    def wire_size(self) -> int:
+        # 32-bit prefix (common header + two counts), 16-bit path ids,
+        # 64-bit pre-capabilities.
+        return (
+            4
+            + 2 * len(self.path_ids)
+            + 8 * len(self.precapabilities)
+            + self._tail_size()
+        )
+
     def pack(self) -> bytes:
         writer = BitWriter()
         self._common(writer)
@@ -140,9 +164,13 @@ class RequestHeader(_Header):
         writer.write(len(self.path_ids), 8)
         for pid in self.path_ids:
             writer.write(pid, PATH_ID_BITS)
-        for pre in self.precapabilities:
-            writer.write(pre.as_int(), 64)
-        return writer.getvalue() + self._tail()
+        # The prefix plus 16-bit path ids is always whole bytes, so the
+        # pre-capability array bulk-encodes through the cached codec.
+        return (
+            writer.getvalue()
+            + pack_u64_array([pre.as_int() for pre in self.precapabilities])
+            + self._tail()
+        )
 
 
 @dataclass
@@ -162,6 +190,12 @@ class RegularHeader(_Header):
     renewal: bool = False
     new_precapabilities: List[PreCapability] = field(default_factory=list)
 
+    #: Per-hop capability-pointer position (not a wire field of its own —
+    #: the shim models the ptr that advances hop by hop).  A class-level
+    #: default so routers read it without getattr; senders/routers set the
+    #: instance attribute as the packet progresses.
+    cap_ptr = 0
+
     @property
     def KIND(self) -> int:  # type: ignore[override]
         if self.renewal:
@@ -169,6 +203,15 @@ class RegularHeader(_Header):
         if self.capabilities is not None:
             return KIND_REGULAR_WITH_CAPS
         return KIND_REGULAR_NONCE_ONLY
+
+    def wire_size(self) -> int:
+        # 64-bit prefix (common header + flow nonce); with-caps/renewal
+        # forms add a 32-bit grant block and the 64-bit arrays.
+        size = 8 + self._tail_size()
+        if self.capabilities is not None or self.renewal:
+            caps = self.capabilities or []
+            size += 4 + 8 * len(caps) + 8 * len(self.new_precapabilities)
+        return size
 
     def pack(self) -> bytes:
         writer = BitWriter()
@@ -180,10 +223,13 @@ class RegularHeader(_Header):
             writer.write(len(self.new_precapabilities), 8)
             writer.write(self.n_bytes // N_UNIT_BYTES, N_FIELD_BITS)
             writer.write(self.t_seconds, T_FIELD_BITS)
-            for cap in caps:
-                writer.write(cap.as_int(), 64)
-            for pre in self.new_precapabilities:
-                writer.write(pre.as_int(), 64)
+            # 96-bit prefix = byte-aligned; both arrays bulk-encode.
+            return (
+                writer.getvalue()
+                + pack_u64_array([cap.as_int() for cap in caps])
+                + pack_u64_array([pre.as_int() for pre in self.new_precapabilities])
+                + self._tail()
+            )
         return writer.getvalue() + self._tail()
 
 
@@ -210,11 +256,10 @@ def unpack_header(data: bytes):
         request = RequestHeader(demoted=demoted, upper_protocol=upper)
         for _ in range(npids):
             request.path_ids.append(reader.read(PATH_ID_BITS))
-        for _ in range(ncaps):
-            raw = reader.read(64)
-            request.precapabilities.append(
-                PreCapability(raw >> 56, raw & ((1 << 56) - 1))
-            )
+        request.precapabilities = [
+            PreCapability(raw >> 56, raw & ((1 << 56) - 1))
+            for raw in reader.read_u64_array(ncaps)
+        ]
         header = request
     else:
         regular = RegularHeader(demoted=demoted, upper_protocol=upper)
@@ -224,17 +269,14 @@ def unpack_header(data: bytes):
             npre = reader.read(8)
             regular.n_bytes = reader.read(N_FIELD_BITS) * N_UNIT_BYTES
             regular.t_seconds = reader.read(T_FIELD_BITS)
-            regular.capabilities = []
-            for _ in range(ncaps):
-                raw = reader.read(64)
-                regular.capabilities.append(
-                    Capability(raw >> 56, raw & ((1 << 56) - 1))
-                )
-            for _ in range(npre):
-                raw = reader.read(64)
-                regular.new_precapabilities.append(
-                    PreCapability(raw >> 56, raw & ((1 << 56) - 1))
-                )
+            regular.capabilities = [
+                Capability(raw >> 56, raw & ((1 << 56) - 1))
+                for raw in reader.read_u64_array(ncaps)
+            ]
+            regular.new_precapabilities = [
+                PreCapability(raw >> 56, raw & ((1 << 56) - 1))
+                for raw in reader.read_u64_array(npre)
+            ]
             regular.renewal = kind == KIND_RENEWAL
         header = regular
 

@@ -16,13 +16,19 @@ traffic.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
 from ..obs.metrics import Counter
+from ..perf.counters import PERF
 from ..sim.link import Link
 from ..sim.node import Router, RouterProcessor
 from ..sim.packet import Packet
-from .capability import mint_precapability, validate_capability
+from .capability import (
+    capability_expired,
+    check_capability_hashes,
+    mint_precapability,
+)
 from .crypto import SecretManager
 from .flowstate import FlowEntry, FlowStateTable
 from .header import RegularHeader, RequestHeader
@@ -42,6 +48,12 @@ RENEWAL_BYTES_PER_HOP = 8
 
 class TvaRouterCore:
     """Capability verification and state management for one router."""
+
+    #: Bound on the per-router validation cache (verdict memo, below).
+    #: A class constant rather than a ``TvaParams`` field on purpose: the
+    #: cache is behaviour-invisible, so it must not enter scenario
+    #: serialization or cache keys.
+    _VALCACHE_SIZE = 1024
 
     def __init__(
         self,
@@ -65,6 +77,15 @@ class TvaRouterCore:
         self._renewals = Counter("renewals")
         self._demotions = Counter("demotions")
         self._restarts = Counter("restarts")
+        self._valcache_hits = Counter("valcache_hits")
+        self._valcache_misses = Counter("valcache_misses")
+        # The Table 1 "cached" validation path: a bounded LRU memo of the
+        # two-hash verdict, keyed on everything the hashes depend on
+        # (including the secret epoch, so rotation invalidates naturally).
+        # Expiry is NOT cached — it depends on ``now`` and is re-checked
+        # per packet.  OrderedDict + move_to_end/popitem(last=False) keeps
+        # eviction order deterministic across hash seeds.
+        self._valcache: "OrderedDict[tuple, bool]" = OrderedDict()
 
     @property
     def requests_processed(self) -> int:
@@ -90,6 +111,14 @@ class TvaRouterCore:
     def restarts(self) -> int:
         return self._restarts.value
 
+    @property
+    def valcache_hits(self) -> int:
+        return self._valcache_hits.value
+
+    @property
+    def valcache_misses(self) -> int:
+        return self._valcache_misses.value
+
     def metric_counters(self) -> Dict[str, Counter]:
         return {
             "requests_processed": self._requests_processed,
@@ -98,6 +127,8 @@ class TvaRouterCore:
             "renewals": self._renewals,
             "demotions": self._demotions,
             "restarts": self._restarts,
+            "valcache_hits": self._valcache_hits,
+            "valcache_misses": self._valcache_misses,
         }
 
     # ------------------------------------------------------------------
@@ -111,6 +142,12 @@ class TvaRouterCore:
         """
         self._restarts.inc()
         self.state = FlowStateTable(self.state.capacity, self.params)
+        # Cached verdicts are keyed on the secret epoch, but a reseed
+        # changes the secret *within* an epoch — drop everything.  (Also
+        # cleared on seedless restarts: verdicts would still be correct,
+        # but a restarted router plausibly loses this cache too, and the
+        # cache never affects behaviour either way.)
+        self._valcache.clear()
         if new_seed:
             self.secrets = SecretManager(new_seed, period=self.secrets.period)
 
@@ -245,9 +282,7 @@ class TvaRouterCore:
         now: float,
         replace: Optional[FlowEntry] = None,
     ) -> Optional[FlowEntry]:
-        if not validate_capability(
-            self.secrets, src, dst, cap, shim.n_bytes, shim.t_seconds, now
-        ):
+        if not self._check_capability(src, dst, cap, shim.n_bytes, shim.t_seconds, now):
             return None
         self._regular_validated.inc()
         if replace is not None:
@@ -257,6 +292,45 @@ class TvaRouterCore:
         return self.state.create(
             flow, shim.flow_nonce, cap, shim.n_bytes, shim.t_seconds, now
         )
+
+    def clear_validation_cache(self) -> None:
+        """Drop every memoized validation verdict.
+
+        The Table 1 benchmarks call this to measure the genuinely uncached
+        path; :meth:`restart` clears it as part of losing router state."""
+        self._valcache.clear()
+
+    def _check_capability(
+        self, src: int, dst: int, cap, n_bytes: int, t_seconds: int, now: float
+    ) -> bool:
+        """``validate_capability`` with the two-hash verdict memoized.
+
+        Returns exactly what :func:`validate_capability` would — the memo
+        key covers every hash input (src, dst, timestamp, hash, N, T, and
+        the resolved secret epoch), and the ``now``-dependent pieces
+        (timestamp freshness, expiry) are evaluated per call."""
+        epoch = self.secrets.epoch_for_timestamp(cap.timestamp, now)
+        if epoch is None:
+            return False
+        if capability_expired(cap.timestamp, t_seconds, now):
+            return False
+        key = (src, dst, cap.timestamp, cap.hash56, n_bytes, t_seconds, epoch)
+        cache = self._valcache
+        verdict = cache.get(key)
+        if verdict is not None:
+            cache.move_to_end(key)
+            self._valcache_hits.inc()
+            PERF.valcache_hits += 1
+            return verdict
+        self._valcache_misses.inc()
+        PERF.valcache_misses += 1
+        verdict = check_capability_hashes(
+            self.secrets.secret_for_epoch(epoch), src, dst, cap, n_bytes, t_seconds
+        )
+        cache[key] = verdict
+        if len(cache) > self._VALCACHE_SIZE:
+            cache.popitem(last=False)
+        return verdict
 
     def _consume_capability(self, shim: RegularHeader):
         """Advance this router's position in the capability list and return
@@ -268,7 +342,7 @@ class TvaRouterCore:
         caps = shim.capabilities
         if not caps:
             return None
-        ptr = getattr(shim, "cap_ptr", 0)
+        ptr = shim.cap_ptr  # class-level default 0 until a hop advances it
         if ptr >= len(caps):
             return None
         shim.cap_ptr = ptr + 1

@@ -16,7 +16,9 @@ what the design determines — and what this reproduction checks — is the
 
 :class:`RouterWorkbench` drives a real :class:`TvaRouterCore` with
 synthetic packets of each type; the cache-miss kinds evict the created
-record after each packet so every packet exercises the miss path.
+record *and* the router's validation-verdict memo after each packet so
+every packet exercises the full miss path (the memo would otherwise turn
+"uncached" into the Table 1 cached row it exists to model).
 """
 
 from __future__ import annotations
@@ -145,6 +147,7 @@ class RouterWorkbench:
     def _batch_uncached(self, batch: int, renewal: bool) -> None:
         process = self.core.process_regular
         remove = self.state.remove
+        uncache = self.core.clear_validation_cache
         caps = self._caps
         pool = len(caps)
         for i in range(batch):
@@ -161,6 +164,7 @@ class RouterWorkbench:
             if verdict != "regular":  # pragma: no cover - bench invariant
                 raise RuntimeError("uncached bench packet failed validation")
             remove((src, self.dst))  # force the miss path next time
+            uncache()  # and the verdict-memo miss path too
 
     # ------------------------------------------------------------------
     # Wire-level path: includes Figure 5 decode/encode per packet, the
@@ -204,6 +208,7 @@ class RouterWorkbench:
                 if verdict != "regular":  # pragma: no cover
                     raise RuntimeError("wire uncached packet demoted")
                 self.state.remove((src, self.dst))
+                self.core.clear_validation_cache()
             return
         raise ValueError(f"unsupported wire kind {kind!r}")
 

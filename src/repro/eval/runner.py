@@ -47,7 +47,10 @@ from .results import PointResult, RunResult, SweepResult, normalize_metrics
 #: v4: D002 lint cleanup — pushback reviews links and identifies
 #: aggregate contributors in canonical (sorted) order, which can shift
 #: filter installation in multi-congestion topologies.
-CACHE_SALT = f"repro-runner-v4:{__version__}"
+#: v5: per-packet fast path — instrumented runs gain the TVA
+#: validation-cache hit/miss counters (a strict superset of the v4
+#: metric names; simulation dynamics are golden-file-guarded unchanged).
+CACHE_SALT = f"repro-runner-v5:{__version__}"
 
 #: Destination-policy names a spec may carry (see ``_policy_factory``).
 POLICIES = ("server", "filtering", "oracle")

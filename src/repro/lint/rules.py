@@ -417,6 +417,90 @@ class SwallowedExceptionRule(Rule):
                 )
 
 
+class HotPathCodecRule(Rule):
+    """P001 — per-call codec/hash construction in the hot packet path.
+
+    Inside ``repro.core`` / ``repro.sim`` every packet pays these costs,
+    so they must be paid once at import time, not per call:
+
+    * ``struct.pack``/``unpack``/``calcsize``/``Struct`` with a *dynamic*
+      format string rebuilds (or re-looks-up) the parsed codec on every
+      call — precompile a ``struct.Struct`` per shape and cache it;
+    * any ``hashlib`` constructor allocates a fresh hash object — in the
+      hot path it belongs behind a memo (secret LRU, interface-tag
+      cache, validation-verdict cache).
+
+    The designated cached sites — the memo-miss branches that *are* the
+    cache — carry ``# repro: allow-p001`` with a justification.
+    """
+
+    code = "P001"
+    name = "hot-path-codec"
+    summary = ("dynamic struct format or hashlib construction in the "
+               "per-packet hot path")
+    motivation = ("keyed_hash56 rebuilt its struct format string per call; "
+                  "precompiling the codecs was a measurable share of the "
+                  "fast-path speedup (see DESIGN.md, fast path)")
+
+    _HOT_MODULES = ("repro.core", "repro.sim")
+    _STRUCT_FUNCS = ("pack", "unpack", "pack_into", "unpack_from",
+                     "iter_unpack", "calcsize", "Struct")
+    _HASHLIB_CTORS = ("new", "blake2b", "blake2s", "md5", "sha1", "sha224",
+                      "sha256", "sha384", "sha512", "sha3_224", "sha3_256",
+                      "sha3_384", "sha3_512", "shake_128", "shake_256")
+
+    def check(self, tree: ast.AST, ctx: FileContext) -> Iterator[RawFinding]:
+        if not ctx.module.startswith(self._HOT_MODULES):
+            return
+        struct_names = _imported_names(tree, "struct", self._STRUCT_FUNCS)
+        hashlib_names = _imported_names(tree, "hashlib", self._HASHLIB_CTORS)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _dotted(node.func)
+            func = self._struct_func(node, target, struct_names)
+            if func is not None:
+                fmt = node.args[0] if node.args else None
+                if fmt is not None and not self._is_static_str(fmt):
+                    yield RawFinding(
+                        node.lineno, node.col_offset,
+                        f"struct.{func} with a dynamic format string "
+                        "re-parses the codec on every packet; precompile "
+                        "a struct.Struct per shape and cache it at module "
+                        "level",
+                    )
+            elif self._is_hashlib_ctor(node, target, hashlib_names):
+                yield RawFinding(
+                    node.lineno, node.col_offset,
+                    "hashlib construction in the per-packet hot path; "
+                    "route it through a cached helper (secret LRU, tag "
+                    "memo) or mark the designated miss site with "
+                    "# repro: allow-p001",
+                )
+
+    def _struct_func(self, node: ast.Call, target: Optional[str],
+                     imported: Set[str]) -> Optional[str]:
+        if target is not None and target.startswith("struct."):
+            func = target.split(".", 1)[1]
+            if func in self._STRUCT_FUNCS:
+                return func
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in imported):
+            return node.func.id
+        return None
+
+    @staticmethod
+    def _is_static_str(node: ast.AST) -> bool:
+        return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+    def _is_hashlib_ctor(self, node: ast.Call, target: Optional[str],
+                         imported: Set[str]) -> bool:
+        if target is not None and target.startswith("hashlib."):
+            return target.split(".", 1)[1] in self._HASHLIB_CTORS
+        return (isinstance(node.func, ast.Name)
+                and node.func.id in imported)
+
+
 #: The registry, in rule-code order.  Engine and CLI both consume this.
 RULES: Tuple[Rule, ...] = (
     HashBuiltinRule(),
@@ -425,6 +509,7 @@ RULES: Tuple[Rule, ...] = (
     WallClockRule(),
     MutableDefaultRule(),
     SwallowedExceptionRule(),
+    HotPathCodecRule(),
 )
 
 #: Lookup by code or slug (both accepted in --select and suppressions).

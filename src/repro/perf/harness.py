@@ -1,0 +1,255 @@
+"""Benchmark workloads and the ``BENCH_perf.json`` writer (``repro bench``).
+
+Each workload is measured two ways:
+
+* **wall-clock seconds** — informational only.  Host-dependent, never a
+  gate.
+* **deterministic op counts** — the :data:`~repro.perf.counters.PERF`
+  delta across the workload.  These are exact, seed-stable functions of
+  the workload, identical on every machine, so CI gates on them: an
+  accidental change to the per-packet work (a cache that stopped
+  hitting, an event-loop regression) shows up as an integer diff.
+
+The op-count guard lives in ``benchmarks/opcount_guard.json`` and is
+checked/updated via ``repro bench --quick`` (the guard is recorded for
+quick mode, which is what CI runs).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from ..core.header import (
+    RegularHeader,
+    RequestHeader,
+    ReturnInfo,
+    unpack_header,
+)
+from ..core.capability import Capability, PreCapability
+from ..eval.experiments import ExperimentConfig
+from ..eval.procbench import RouterWorkbench
+from ..eval.runner import ScenarioSpec, run_spec
+from ..sim.engine import Simulator
+from .opcounts import OpCounts, OpCountProbe
+
+SCHEMA = "repro.perf/v1"
+
+#: Counters the guard compares.  Wall-clock is deliberately absent.
+GUARD_FIELDS = OpCounts().to_dict().keys()
+
+
+# ---------------------------------------------------------------------------
+# Workloads.  Each takes quick: bool and performs deterministic work;
+# the harness wraps it in timing + an OpCountProbe.
+# ---------------------------------------------------------------------------
+
+def _workload_fig8(quick: bool) -> None:
+    """End-to-end fig8 scenario — the acceptance benchmark."""
+    duration = 3.0 if quick else 8.0
+    run_spec(
+        ScenarioSpec(
+            scheme="tva",
+            attack="legacy",
+            n_attackers=10,
+            seed=1,
+            config=ExperimentConfig(duration=duration, seed=1),
+        )
+    )
+
+
+def _workload_event_loop(quick: bool) -> None:
+    """Pure simulator churn: timer re-arm/cancel cycles (the TCP pattern
+    that grows the lazy-deletion heap) plus fire-and-forget deliveries."""
+    sim = Simulator()
+    n = 20_000 if quick else 100_000
+
+    def tick() -> None:
+        pass
+
+    pending = None
+    for i in range(n):
+        if pending is not None and i % 4:
+            sim.cancel(pending)  # re-arm churn: most timers never fire
+        pending = sim.at(1.0 + i * 1e-3, tick)
+        if i % 10 == 0:
+            sim.call_after(i * 1e-3, tick)
+    sim.run()
+
+
+def _workload_validation(quick: bool) -> None:
+    """Router pipeline batches across the Table 1 packet kinds."""
+    bench = RouterWorkbench(pool_size=64)
+    batch = 256 if quick else 2048
+    for kind in (
+        "request",
+        "regular_cached",
+        "regular_uncached",
+        "renewal_cached",
+        "renewal_uncached",
+    ):
+        bench.run_batch(kind, batch=batch)
+    bench.run_wire_batch("regular_uncached", batch=batch // 4)
+
+
+def _workload_codec(quick: bool) -> None:
+    """Figure 5 header pack/unpack round trips."""
+    n = 2_000 if quick else 20_000
+    caps = [Capability(5, 0x00F00D + i) for i in range(6)]
+    pres = [PreCapability(5, 0x00BEEF + i) for i in range(6)]
+    regular = RegularHeader(
+        flow_nonce=0xABCDE,
+        n_bytes=64 * 1024,
+        t_seconds=10,
+        capabilities=caps,
+        return_info=ReturnInfo(n_bytes=64 * 1024, t_seconds=10,
+                               capabilities=caps[:3]),
+    )
+    request = RequestHeader(path_ids=[11, 22, 33], precapabilities=pres)
+    for _ in range(n):
+        unpack_header(regular.pack())
+        unpack_header(request.pack())
+        assert regular.wire_size() == len(regular.pack())
+        assert request.wire_size() == len(request.pack())
+
+
+#: name -> workload, in report order.
+WORKLOADS: Dict[str, Callable[[bool], None]] = {
+    "fig8_e2e": _workload_fig8,
+    "event_loop": _workload_event_loop,
+    "validation": _workload_validation,
+    "codec": _workload_codec,
+}
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    name: str
+    wall_seconds: float
+    op_counts: OpCounts
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_seconds": round(self.wall_seconds, 6),
+            "op_counts": self.op_counts.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    quick: bool
+    results: Tuple[WorkloadResult, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "quick": self.quick,
+            "workloads": {r.name: r.to_dict() for r in self.results},
+        }
+
+    def table(self) -> str:
+        lines = [f"{'workload':12s} {'wall (s)':>10s} "
+                 f"{'events':>10s} {'hashes':>8s} {'queue ops':>10s}"]
+        for r in self.results:
+            ops = r.op_counts
+            lines.append(
+                f"{r.name:12s} {r.wall_seconds:10.3f} "
+                f"{ops.events_fired:10d} {ops.hashes:8d} "
+                f"{ops.enqueues + ops.dequeues:10d}"
+            )
+        return "\n".join(lines)
+
+
+def run_bench(quick: bool = False) -> BenchReport:
+    """Run every workload, capturing wall-clock and op-count deltas.
+
+    Op counts are process-global deltas, so workloads run sequentially
+    in this process (never probe across a worker pool)."""
+    from ..core.pathid import clear_tag_cache
+
+    results: List[WorkloadResult] = []
+    # repro: allow-d002 — literal dict; declaration order IS the report order
+    for name, fn in WORKLOADS.items():
+        # Cold-start each workload: process-wide memos with op-count-
+        # visible state would otherwise make counts depend on what ran
+        # earlier in this process.
+        clear_tag_cache()
+        with OpCountProbe() as probe:
+            start = time.perf_counter()
+            fn(quick)
+            elapsed = time.perf_counter() - start
+        results.append(WorkloadResult(name, elapsed, probe.counts))
+    return BenchReport(quick=quick, results=tuple(results))
+
+
+def write_bench_report(report: BenchReport, path) -> None:
+    Path(path).write_text(
+        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Op-count guard
+# ---------------------------------------------------------------------------
+
+def guard_payload(report: BenchReport) -> dict:
+    """The committed guard: op counts only — wall-clock never gates."""
+    return {
+        "schema": SCHEMA,
+        "quick": report.quick,
+        "workloads": {r.name: r.op_counts.to_dict() for r in report.results},
+    }
+
+
+def write_guard(report: BenchReport, path) -> None:
+    Path(path).write_text(
+        json.dumps(guard_payload(report), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_guard(path) -> dict:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"guard schema {data.get('schema')!r} != {SCHEMA!r}; "
+            "regenerate with: repro bench --quick --update-guard"
+        )
+    return data
+
+
+def check_opcount_guard(report: BenchReport, guard: dict) -> List[str]:
+    """Compare a report's op counts against a loaded guard.
+
+    Returns human-readable mismatch lines (empty = pass).  Only counters
+    present in the guard are compared, so adding a counter field is not
+    retroactively a failure — regenerating the guard picks it up."""
+    problems: List[str] = []
+    if bool(guard.get("quick")) != report.quick:
+        return [
+            f"guard was recorded with quick={guard.get('quick')} but this "
+            f"run used quick={report.quick}; op counts are mode-specific"
+        ]
+    expected_workloads = guard.get("workloads", {})
+    actual = {r.name: r.op_counts.to_dict() for r in report.results}
+    for name, expected in sorted(expected_workloads.items()):
+        got = actual.get(name)
+        if got is None:
+            problems.append(f"{name}: workload missing from this run")
+            continue
+        for counter, want in sorted(expected.items()):
+            have = got.get(counter, 0)
+            if have != want:
+                problems.append(
+                    f"{name}.{counter}: expected {want}, got {have} "
+                    f"({have - want:+d})"
+                )
+    return problems

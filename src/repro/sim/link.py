@@ -170,10 +170,15 @@ class Link:
         if self._busy or not self.up:
             return
         now = self.sim.now
-        pkt = self.qdisc.dequeue(now)
+        qdisc = self.qdisc
+        pkt = qdisc.dequeue(now)
         if pkt is None:
+            if not qdisc.backlog_pkts:
+                # Truly idle — nothing to poll for (every discipline's
+                # next_ready returns None on zero backlog).
+                return
             # Backlogged but rate-limited: re-poll when tokens accrue.
-            ready = self.qdisc.next_ready(now)
+            ready = qdisc.next_ready(now)
             if ready is not None and self._poll_event is None:
                 # Floor the poll delay at 1 µs so float rounding in a rate
                 # limiter can never freeze simulated time.
@@ -186,7 +191,9 @@ class Link:
         self._tx_bytes.inc(pkt.size)
         if self.classify is not None:
             self.class_counter(self.classify(pkt)).inc(pkt.size)
-        self.sim.after(tx_time, self._tx_done, pkt)
+        # Fire-and-forget: a started transmission is never cancelled (even
+        # set_down lets the in-flight packet finish), so skip the Event.
+        self.sim.call_after(tx_time, self._tx_done, pkt)
 
     def _poll(self) -> None:
         self._poll_event = None
@@ -194,7 +201,9 @@ class Link:
 
     def _tx_done(self, pkt: Packet) -> None:
         self._busy = False
-        self.sim.after(self.delay, self.dst.receive, pkt, self)
+        # Propagation is likewise uncancellable: the cut model keeps
+        # packets already on the wire (see set_down).
+        self.sim.call_after(self.delay, self.dst.receive, pkt, self)
         self._pump()
 
     # ------------------------------------------------------------------

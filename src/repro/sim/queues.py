@@ -23,6 +23,7 @@ from collections import OrderedDict, deque
 from typing import Callable, Deque, Dict, Hashable, List, Optional
 
 from ..obs.metrics import Counter
+from ..perf.counters import PERF
 from .packet import Packet
 
 
@@ -100,13 +101,18 @@ class Qdisc:
         raise NotImplementedError
 
     # -- shared bookkeeping ---------------------------------------------
+    # PERF.enqueues/dequeues tally accounting ops, so hierarchical
+    # disciplines (PriorityScheduler over children) count once per level —
+    # by design: the counters measure work done, not packets moved.
     def _account_in(self, pkt: Packet) -> None:
         self.backlog_bytes += pkt.size
         self.backlog_pkts += 1
+        PERF.enqueues += 1
 
     def _account_out(self, pkt: Packet) -> None:
         self.backlog_bytes -= pkt.size
         self.backlog_pkts -= 1
+        PERF.dequeues += 1
 
     def _account_drop(self, pkt: Packet, reason: Optional[str] = None) -> None:
         self._drops.inc()
@@ -248,26 +254,36 @@ class DRRFairQueue(Qdisc):
         # round order its deficit grows by one quantum; packets are served
         # while the deficit covers them; when it no longer does, the
         # scheduler moves on and the queue waits for its next round.
+        # (Hot loop: the per-key dicts are bound to locals; _retire
+        # mutates self._round/_round_idx, so those stay attribute reads.)
+        round_ = self._round
+        queues = self._queues
+        deficit = self._deficit
+        topped = self._topped
+        qbytes = self._bytes
+        quantum = self.quantum
         while True:
-            if self._round_idx >= len(self._round):
+            if self._round_idx >= len(round_):
                 self._round_idx = 0
-            key = self._round[self._round_idx]
-            queue = self._queues[key]
+            key = round_[self._round_idx]
+            queue = queues[key]
             if not queue:
                 self._retire(key)
                 continue
-            if not self._topped[key]:
-                self._deficit[key] += self.quantum
-                self._topped[key] = True
+            if not topped[key]:
+                deficit[key] += quantum
+                topped[key] = True
             head = queue[0]
-            if self._deficit[key] < head.size:
+            size = head.size
+            remaining = deficit[key]
+            if remaining < size:
                 # Spent for this round; revisit after the others.
-                self._topped[key] = False
+                topped[key] = False
                 self._round_idx += 1
                 continue
             queue.popleft()
-            self._deficit[key] -= head.size
-            self._bytes[key] -= head.size
+            deficit[key] = remaining - size
+            qbytes[key] -= size
             self._account_out(head)
             if not queue:
                 self._retire(key)
@@ -442,6 +458,10 @@ class PriorityScheduler(Qdisc):
         return False
 
     def dequeue(self, now: float) -> Optional[Packet]:
+        # Parked heads stay in this scheduler's backlog accounting, so an
+        # empty backlog really means nothing to serve anywhere.
+        if not self.backlog_pkts:
+            return None
         for idx, (_, qdisc, bucket) in enumerate(self._classes):
             if bucket is None:
                 pkt = qdisc.dequeue(now)
@@ -477,6 +497,8 @@ class PriorityScheduler(Qdisc):
         return drained
 
     def next_ready(self, now: float) -> Optional[float]:
+        if not self.backlog_pkts:
+            return None
         best: Optional[float] = None
         for idx, (_, qdisc, bucket) in enumerate(self._classes):
             deferred = self._deferred[idx]

@@ -124,3 +124,66 @@ class TestSecretManager:
         ts = mgr.timestamp(mint_time)
         resolved = mgr.secret_for_timestamp(ts, mint_time + age)
         assert resolved == mgr.secret_for_epoch(mgr.epoch(mint_time))
+
+
+class TestSecretCache:
+    """The per-manager epoch->secret LRU (3 live entries)."""
+
+    def test_hit_returns_identical_secret(self):
+        mgr = SecretManager(b"seed")
+        first = mgr.secret_for_epoch(7)
+        assert mgr.secret_for_epoch(7) == first
+        assert 7 in mgr._secret_cache
+
+    def test_cache_counts_hits_and_derivations(self):
+        from repro.perf import PERF
+
+        mgr = SecretManager(b"seed")
+        before = (PERF.secret_derivations, PERF.secret_cache_hits)
+        mgr.secret_for_epoch(3)
+        mgr.secret_for_epoch(3)
+        mgr.secret_for_epoch(3)
+        after = (PERF.secret_derivations, PERF.secret_cache_hits)
+        assert after[0] - before[0] == 1
+        assert after[1] - before[1] == 2
+
+    def test_rotation_keeps_current_and_previous(self):
+        """Walking epochs forward (the rotation pattern) evicts only the
+        oldest entry; current and previous epochs always stay cached."""
+        mgr = SecretManager(b"seed")
+        for epoch in range(10):
+            mgr.secret_for_epoch(epoch)
+            if epoch >= 1:
+                mgr.secret_for_epoch(epoch - 1)  # previous-epoch validation
+            assert len(mgr._secret_cache) <= 3
+            assert epoch in mgr._secret_cache
+            if epoch >= 1:
+                assert epoch - 1 in mgr._secret_cache
+
+    def test_eviction_drops_smallest_epoch(self):
+        mgr = SecretManager(b"seed")
+        for epoch in (5, 6, 7):
+            mgr.secret_for_epoch(epoch)
+        mgr.secret_for_epoch(8)
+        assert sorted(mgr._secret_cache) == [6, 7, 8]
+
+    def test_cached_secret_matches_fresh_derivation(self):
+        warm = SecretManager(b"seed")
+        for epoch in range(6):
+            warm.secret_for_epoch(epoch)
+        cold = SecretManager(b"seed")
+        for epoch in (3, 4, 5):
+            assert warm.secret_for_epoch(epoch) == cold.secret_for_epoch(epoch)
+
+    def test_epoch_boundary_validation_crosses_rotation(self):
+        """A timestamp minted just before a rotation still validates just
+        after it, via the previous-epoch secret — with both secrets served
+        from the cache once warm."""
+        mgr = SecretManager(b"seed", period=128.0)
+        mint_time = 127.5
+        ts = mgr.timestamp(mint_time)
+        now = 128.5  # new epoch
+        resolved = mgr.secret_for_timestamp(ts, now)
+        assert resolved == mgr.secret_for_epoch(0)
+        assert resolved != mgr.current_secret(now)
+        assert sorted(mgr._secret_cache) == [0, 1]

@@ -197,3 +197,96 @@ class TestLegacy:
         assert verdict == LEGACY
         assert added == 0
         assert router.demotions == 0
+
+
+class TestValidationCache:
+    """The bounded (src, dst, cap, grant, epoch)->verdict memo."""
+
+    def test_repeat_validation_hits_cache(self, router):
+        cap = grant_via(router)
+        for i in range(3):
+            shim = regular_shim(cap)
+            verdict, _ = router.process_regular(1, 2, 100, shim, 101.0)
+            assert verdict == REGULAR
+            router.state.remove((1, 2))  # force full validation next time
+        assert router.valcache_misses == 1
+        assert router.valcache_hits == 2
+
+    def test_negative_verdicts_are_cached_too(self, router):
+        cap = grant_via(router)
+        forged = type(cap)(cap.timestamp, cap.hash56 ^ 1)
+        for _ in range(2):
+            verdict, _ = router.process_regular(
+                1, 2, 100, regular_shim(forged), 101.0)
+            assert verdict == LEGACY
+        assert router.valcache_misses == 1
+        assert router.valcache_hits == 1
+
+    def test_expiry_rechecked_despite_cached_verdict(self, router):
+        """Expiry depends on `now`, so it must not be memoized: a cached
+        True verdict still demotes once the capability's T runs out."""
+        cap = grant_via(router, t=10, now=100.0)
+        verdict, _ = router.process_regular(1, 2, 100, regular_shim(cap), 101.0)
+        assert verdict == REGULAR
+        router.state.remove((1, 2))
+        verdict, _ = router.process_regular(1, 2, 100, regular_shim(cap), 115.0)
+        assert verdict == LEGACY
+
+    def test_eviction_is_fifo_and_bounded(self, router):
+        size = router._VALCACHE_SIZE
+        caps = []
+        for i in range(size + 10):
+            src = 100 + i
+            cap = grant_via(router, src=src)
+            caps.append((src, cap))
+            router.process_regular(src, 2, 100, regular_shim(cap), 101.0)
+            router.state.remove((src, 2))
+        assert len(router._valcache) == size
+        # The 10 oldest entries were evicted: revalidating the very first
+        # source misses; revalidating the newest hits.
+        hits_before = router.valcache_hits
+        misses_before = router.valcache_misses
+        src, cap = caps[0]
+        router.process_regular(src, 2, 100, regular_shim(cap), 101.0)
+        router.state.remove((src, 2))
+        assert router.valcache_misses == misses_before + 1
+        src, cap = caps[-1]
+        router.process_regular(src, 2, 100, regular_shim(cap), 101.0)
+        assert router.valcache_hits == hits_before + 1
+
+    def test_eviction_order_is_deterministic(self):
+        """Two routers fed the identical sequence evict identically —
+        cache content is a function of traffic, not process history."""
+        def drive():
+            core = TvaRouterCore(
+                "R1", SecretManager(b"r1"), FlowStateTable(1000),
+                trust_boundary=True)
+            for i in range(core._VALCACHE_SIZE + 50):
+                src = 10 + i
+                cap = grant_via(core, src=src)
+                core.process_regular(src, 2, 100, regular_shim(cap), 101.0)
+                core.state.remove((src, 2))
+            return list(core._valcache)
+
+        assert drive() == drive()
+
+    def test_clear_validation_cache_forces_misses(self, router):
+        cap = grant_via(router)
+        router.process_regular(1, 2, 100, regular_shim(cap), 101.0)
+        router.state.remove((1, 2))
+        router.clear_validation_cache()
+        router.process_regular(1, 2, 100, regular_shim(cap), 101.0)
+        assert router.valcache_misses == 2
+        assert router.valcache_hits == 0
+
+    def test_restart_clears_the_cache(self, router):
+        cap = grant_via(router)
+        router.process_regular(1, 2, 100, regular_shim(cap), 101.0)
+        assert len(router._valcache) == 1
+        router.restart(now=102.0)
+        assert len(router._valcache) == 0
+
+    def test_counters_exported_via_metrics(self, router):
+        counters = router.metric_counters()
+        assert "valcache_hits" in counters
+        assert "valcache_misses" in counters

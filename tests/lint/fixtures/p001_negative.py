@@ -1,0 +1,31 @@
+# repro: module=repro.core.fixture
+"""P001 negative fixture: precompiled codecs, static formats, and the
+suppressed memo-miss sites the rule's escape hatch exists for."""
+
+import struct
+from struct import Struct
+
+#: Static formats compile once at import time — the pattern P001 wants.
+_HEADER = Struct(">HH")
+_CODECS = {}
+
+
+def static_pack(a, b):
+    return struct.pack(">HH", a, b)
+
+
+def precompiled_pack(a, b):
+    return _HEADER.pack(a, b)
+
+
+def cached_codec(n):
+    codec = _CODECS.get(n)
+    if codec is None:
+        # repro: allow-p001 — miss branch of the codec memo
+        codec = _CODECS[n] = Struct(f">{n}Q")
+    return codec
+
+
+def not_the_struct_module(codec, fmt):
+    # Attribute calls on a compiled Struct (or anything else) are fine.
+    return codec.pack(fmt)

@@ -1,0 +1,43 @@
+# repro: module=repro.core.fixture
+"""P001 positive fixture: per-call codec/hash construction in the hot path.
+
+The ``# repro: module=`` override puts this file in P001's scope exactly
+as if it lived under ``src/repro/core/``.
+"""
+
+import hashlib
+import struct
+from hashlib import blake2b
+from struct import Struct, pack
+
+
+def dynamic_pack(values):
+    return struct.pack(f"<{len(values)}Q", *values)  # expect: P001
+
+
+def dynamic_unpack(fmt, raw):
+    return struct.unpack(fmt, raw)  # expect: P001
+
+
+def dynamic_struct(n):
+    return Struct(f">{n}Q")  # expect: P001
+
+
+def dynamic_calcsize(fmt):
+    return struct.calcsize(fmt)  # expect: P001
+
+
+def dynamic_bare_pack(fmt, value):
+    return pack(fmt, value)  # expect: P001
+
+
+def fresh_digest(data):
+    return hashlib.sha256(data).digest()  # expect: P001
+
+
+def fresh_keyed(data, key):
+    return blake2b(data, key=key).digest()  # expect: P001
+
+
+def fresh_named(data):
+    return hashlib.new("sha256", data).digest()  # expect: P001

@@ -134,6 +134,31 @@ def test_d005_lambda_default():
     assert codes_of(lint_snippet("f = lambda xs=[]: xs\n")) == ["D005"]
 
 
+def test_p001_scope_is_core_and_sim_only():
+    source = ("import struct\n"
+              "def f(n, vals):\n"
+              "    return struct.pack(f'<{n}Q', *vals)\n")
+    assert codes_of(lint_snippet(source, module="repro.core.bits")) \
+        == ["P001"]
+    assert codes_of(lint_snippet(source, module="repro.sim.engine")) \
+        == ["P001"]
+    assert codes_of(lint_snippet(source, module="repro.eval.procbench")) == []
+    assert codes_of(lint_snippet(source, module="repro.lint.rules")) == []
+
+
+def test_p001_static_format_is_clean():
+    assert codes_of(lint_snippet(
+        "import struct\nx = struct.pack('>H', 1)\n",
+        module="repro.core.bits")) == []
+
+
+def test_p001_hashlib_in_eval_is_clean():
+    source = "import hashlib\nh = hashlib.sha256(b'x').hexdigest()\n"
+    assert codes_of(lint_snippet(source, module="repro.eval.cache")) == []
+    assert codes_of(lint_snippet(source, module="repro.core.crypto")) \
+        == ["P001"]
+
+
 def test_rules_metadata_complete():
     for rule in RULES:
         assert rule.code and rule.name and rule.summary and rule.motivation

@@ -1,0 +1,53 @@
+"""End-to-end tests for the ``repro bench`` CLI."""
+
+import json
+
+from repro.cli import main
+from repro.perf.harness import SCHEMA
+
+
+def test_bench_quick_writes_report_and_checks_guard(tmp_path, capsys):
+    out = tmp_path / "BENCH_perf.json"
+    guard = tmp_path / "guard.json"
+    rc = main(["bench", "--quick", "--output", str(out),
+               "--guard", str(guard), "--update-guard"])
+    assert rc == 0
+    data = json.loads(out.read_text())
+    assert data["schema"] == SCHEMA
+    assert guard.exists()
+
+    rc = main(["bench", "--quick", "--output", str(out),
+               "--guard", str(guard)])
+    assert rc == 0
+    assert "op-count guard OK" in capsys.readouterr().out
+
+
+def test_bench_fails_on_guard_mismatch(tmp_path, capsys):
+    out = tmp_path / "BENCH_perf.json"
+    guard = tmp_path / "guard.json"
+    assert main(["bench", "--quick", "--output", str(out),
+                 "--guard", str(guard), "--update-guard"]) == 0
+    data = json.loads(guard.read_text())
+    data["workloads"]["event_loop"]["events_fired"] += 5
+    guard.write_text(json.dumps(data))
+    rc = main(["bench", "--quick", "--output", str(out),
+               "--guard", str(guard)])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "event_loop.events_fired" in err
+    assert "--update-guard" in err
+
+
+def test_bench_without_guard_file_still_succeeds(tmp_path, capsys):
+    out = tmp_path / "BENCH_perf.json"
+    rc = main(["bench", "--quick", "--output", str(out),
+               "--guard", str(tmp_path / "missing.json")])
+    assert rc == 0
+    assert "no op-count guard" in capsys.readouterr().out
+
+
+def test_update_guard_requires_quick(tmp_path, capsys):
+    rc = main(["bench", "--output", str(tmp_path / "b.json"),
+               "--guard", str(tmp_path / "g.json"), "--update-guard"])
+    assert rc == 2
+    assert "--quick" in capsys.readouterr().err

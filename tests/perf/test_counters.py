@@ -1,0 +1,54 @@
+"""Unit tests for the deterministic op-count instrumentation."""
+
+from repro.perf import FIELDS, PERF, OpCountProbe, OpCounts, PerfCounters
+
+
+class TestPerfCounters:
+    def test_singleton_has_every_field(self):
+        for name in FIELDS:
+            assert isinstance(getattr(PERF, name), int)
+
+    def test_snapshot_and_reset(self):
+        counters = PerfCounters()
+        counters.hashes += 3
+        counters.enqueues += 1
+        snap = counters.snapshot()
+        assert snap["hashes"] == 3
+        assert snap["enqueues"] == 1
+        counters.reset()
+        assert all(v == 0 for v in counters.snapshot().values())
+
+    def test_fields_match_opcounts(self):
+        assert tuple(OpCounts().to_dict()) == FIELDS
+
+
+class TestOpCounts:
+    def test_subtraction_is_fieldwise(self):
+        a = OpCounts(hashes=5, enqueues=10)
+        b = OpCounts(hashes=2, enqueues=4)
+        delta = a - b
+        assert delta.hashes == 3
+        assert delta.enqueues == 6
+        assert delta.dequeues == 0
+
+    def test_dict_round_trip(self):
+        counts = OpCounts(hashes=1, events_fired=2, valcache_hits=3)
+        assert OpCounts.from_dict(counts.to_dict()) == counts
+
+
+class TestOpCountProbe:
+    def test_probe_measures_delta_not_absolute(self):
+        PERF.hashes += 7  # pre-existing noise the probe must ignore
+        with OpCountProbe() as probe:
+            PERF.hashes += 2
+            PERF.dequeues += 1
+        assert probe.counts.hashes == 2
+        assert probe.counts.dequeues == 1
+
+    def test_probe_captures_real_work(self):
+        from repro.core import keyed_hash56
+
+        with OpCountProbe() as probe:
+            keyed_hash56(b"key", 1, 2, 3)
+            keyed_hash56(b"key", 4, 5, 6)
+        assert probe.counts.hashes == 2

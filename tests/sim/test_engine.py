@@ -213,3 +213,98 @@ class TestPendingCounter:
         sim.at(5.0, lambda: None)
         sim.run(until=2.0)
         assert sim.pending == 1
+
+
+class TestHeapCompaction:
+    """Cancelled entries must not accumulate in the event heap (the TCP
+    timer re-arm pattern schedules and cancels far more events than it
+    fires)."""
+
+    def test_cancel_churn_keeps_heap_bounded(self):
+        sim = Simulator()
+
+        def noop():
+            pass
+
+        # Re-arm churn: schedule, then immediately cancel and replace.
+        pending = sim.at(1000.0, noop)
+        for i in range(10_000):
+            sim.cancel(pending)
+            pending = sim.at(1000.0 + i * 1e-3, noop)
+        # Without compaction the heap would hold ~10_001 entries.
+        assert len(sim._heap) < 200
+        assert sim.pending == 1
+
+    def test_compaction_happens_during_run(self):
+        """Cancellations from inside callbacks (the realistic path) also
+        trigger compaction."""
+        sim = Simulator()
+        fired = []
+        timers = [sim.at(2000.0 + i, fired.append, i) for i in range(512)]
+
+        def cancel_all():
+            for ev in timers:
+                sim.cancel(ev)
+
+        sim.at(1.0, cancel_all)
+        sim.run(until=10.0)
+        assert fired == []
+        assert len(sim._heap) < 64
+        assert sim.pending == 0
+
+    def test_compaction_preserves_order_and_results(self):
+        sim = Simulator()
+        seen = []
+        keep = []
+        for i in range(400):
+            ev = sim.at(1.0 + i * 0.01, seen.append, i)
+            if i % 4:
+                sim.cancel(ev)
+            else:
+                keep.append(i)
+        sim.run()
+        assert seen == keep
+
+    def test_small_heaps_never_compact(self):
+        from repro.perf import PERF
+
+        sim = Simulator()
+        before = PERF.heap_compactions
+        for i in range(20):
+            sim.cancel(sim.at(1.0 + i, lambda: None))
+        assert PERF.heap_compactions == before
+
+
+class TestCallAfter:
+    """The uncancellable fire-and-forget fast path."""
+
+    def test_fires_with_args_in_order(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(2.0, seen.append, "b")
+        sim.call_after(1.0, seen.append, "a")
+        sim.at(3.0, seen.append, "c")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_interleaves_fifo_with_at_entries(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, seen.append, 0)
+        sim.call_after(1.0, seen.append, 1)
+        sim.at(1.0, seen.append, 2)
+        sim.run()
+        assert seen == [0, 1, 2]
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_after(-0.1, lambda: None)
+
+    def test_counts_as_pending_and_processed(self):
+        sim = Simulator()
+        sim.call_after(1.0, lambda: None)
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 1
