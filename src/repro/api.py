@@ -54,6 +54,15 @@ from .faults import (
     parse_fault,
 )
 
+# -- curated scenario library ----------------------------------------------
+from .scenarios import (
+    SCENARIOS as SCENARIO_LIBRARY,
+    ScenarioDef,
+    format_scenario_table,
+    get_scenario,
+    scenario_names,
+)
+
 # -- scenario running ------------------------------------------------------
 from .eval.cache import ResultCache, default_cache_dir
 from .eval.dynamics import (
@@ -76,21 +85,35 @@ from .eval.runner import (
 # -- building blocks for custom topologies (what examples/ use) ------------
 from .core import ServerPolicy, TvaScheme
 from .sim import (
+    AggregateHost,
+    AggregateLink,
     DropTailQueue,
     Dumbbell,
     Host,
     Link,
+    LinkSpec,
+    Network,
+    NodeSpec,
     Router,
     SchemeFactory,
     Simulator,
+    TopologySpec,
     TransferLog,
+    as_graph_spec,
+    asymmetric_spec,
     build_chain,
     build_dumbbell,
     build_parallel,
     build_static_routes,
     build_two_tier,
+    dumbbell_spec,
+    fat_tree_spec,
+    instantiate,
+    partial_deployment_spec,
+    tree_spec,
 )
 from .transport import (
+    AggregateSender,
     CbrFlood,
     PacketSink,
     RepeatingTransferClient,
@@ -173,6 +196,12 @@ __all__ = [
     "run_flood_scenario",
     "build_flood_specs",
     "build_fig11_spec",
+    # curated scenario library
+    "SCENARIO_LIBRARY",
+    "ScenarioDef",
+    "scenario_names",
+    "get_scenario",
+    "format_scenario_table",
     # benchmarking
     "PERF",
     "PerfCounters",
@@ -202,10 +231,23 @@ __all__ = [
     "Simulator",
     "TransferLog",
     "Dumbbell",
+    "Network",
     "Host",
     "Link",
     "Router",
+    "AggregateHost",
+    "AggregateLink",
     "DropTailQueue",
+    "TopologySpec",
+    "NodeSpec",
+    "LinkSpec",
+    "instantiate",
+    "dumbbell_spec",
+    "tree_spec",
+    "fat_tree_spec",
+    "as_graph_spec",
+    "asymmetric_spec",
+    "partial_deployment_spec",
     "build_chain",
     "build_dumbbell",
     "build_parallel",
@@ -216,4 +258,5 @@ __all__ = [
     "RepeatingTransferClient",
     "PacketSink",
     "CbrFlood",
+    "AggregateSender",
 ]

@@ -248,26 +248,49 @@ def _cmd_fig12(args) -> int:
 
 
 def _cmd_scenario(args) -> int:
-    config = ExperimentConfig(duration=args.duration, seed=args.seed,
-                              regular_qdisc=args.regular_qdisc)
+    from .scenarios import format_scenario_table, get_scenario
+
+    if args.list_scenarios:
+        print(format_scenario_table())
+        return 0
     try:
         faults = FaultSchedule.from_specs(args.fault or ())
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    spec = ScenarioSpec(scheme=args.scheme, attack=args.attack,
-                        n_attackers=args.attackers, seed=args.seed,
-                        config=config, metrics=args.metrics,
-                        metrics_interval=args.metrics_interval,
-                        faults=faults)
+    if args.name:
+        try:
+            scenario = get_scenario(args.name)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        spec = scenario.spec(scheme=args.scheme, seed=args.seed,
+                             duration=args.duration, metrics=args.metrics,
+                             metrics_interval=args.metrics_interval,
+                             faults=faults,
+                             regular_qdisc=args.regular_qdisc)
+        attack = scenario.attack
+        n_attackers = scenario.n_attackers
+    else:
+        duration = 15.0 if args.duration is None else args.duration
+        config = ExperimentConfig(duration=duration, seed=args.seed,
+                                  regular_qdisc=args.regular_qdisc)
+        spec = ScenarioSpec(scheme=args.scheme, attack=args.attack,
+                            n_attackers=args.attackers, seed=args.seed,
+                            config=config, metrics=args.metrics,
+                            metrics_interval=args.metrics_interval,
+                            faults=faults)
+        attack = args.attack
+        n_attackers = args.attackers
     (run,) = _make_runner(args).run([spec])
     print("", file=sys.stderr)
     if args.json:
         print(json.dumps(run.to_dict(), indent=2))
         return 0
     avg = run.avg_transfer_time
-    print(f"scheme={args.scheme} attack={args.attack} k={args.attackers} "
-          f"duration={args.duration:.0f}s")
+    label = f"scenario={args.name} " if args.name else ""
+    print(f"{label}scheme={args.scheme} attack={attack} k={n_attackers} "
+          f"duration={spec.config.duration:.0f}s")
     print(f"  completion fraction : {run.fraction_completed:.2f}")
     print(f"  avg transfer time   : "
           f"{'-' if avg is None else f'{avg:.2f} s'}")
@@ -674,13 +697,22 @@ def build_parser() -> argparse.ArgumentParser:
                          "checking it (requires --quick)")
     pb.set_defaults(fn=_cmd_bench)
 
-    ps = sub.add_parser("scenario", help="one custom flood scenario")
+    ps = sub.add_parser("scenario",
+                        help="one flood scenario: custom dumbbell or a "
+                             "curated library entry")
+    ps.add_argument("--list", action="store_true", dest="list_scenarios",
+                    help="print the curated scenario library and exit")
+    ps.add_argument("--name", metavar="SCENARIO",
+                    help="run a curated scenario from the library "
+                         "(see --list) instead of a custom dumbbell")
     ps.add_argument("--scheme", choices=SCHEMES, default="tva")
     ps.add_argument("--attack",
                     choices=("legacy", "request", "colluder", "authorized"),
                     default="legacy")
     ps.add_argument("--attackers", type=int, default=10)
-    ps.add_argument("--duration", type=float, default=15.0)
+    ps.add_argument("--duration", type=float, default=None,
+                    help="measurement window in seconds (default: 15, or "
+                         "the curated scenario's tuned duration)")
     ps.add_argument("--seed", type=int, default=1)
     ps.add_argument("--regular-qdisc", choices=("drr", "sfq"), default="drr",
                     help="fair queuing for TVA's regular class: per-key "

@@ -362,8 +362,10 @@ class TvaRouterProcessor(RouterProcessor):
         # trust boundaries do not tag requests as the upstream has already
         # tagged", Section 3.2).  Which links are boundary ingress is
         # topology knowledge: host access links and inter-domain links.
+        # (ingress_of lets an AggregateLink report the per-member wire a
+        # packet arrived on, so aggregated senders tag like expanded ones.)
         ingress = (
-            in_link.name
+            in_link.ingress_of(pkt)
             if in_link is not None and in_link.boundary_ingress
             else None
         )

@@ -28,8 +28,21 @@ from ..core.params import (
 )
 from ..faults import FaultInjector, coerce_schedule
 from ..schemes import build_scheme, scheme_names
-from ..sim import Simulator, TransferLog, build_dumbbell
-from ..transport import CbrFlood, PacketSink, RepeatingTransferClient, TcpListener
+from ..sim import (
+    Simulator,
+    TopologySpec,
+    TransferLog,
+    dumbbell_spec,
+    instantiate,
+)
+from ..sim.node import AggregateHost
+from ..transport import (
+    AggregateSender,
+    CbrFlood,
+    PacketSink,
+    RepeatingTransferClient,
+    TcpListener,
+)
 from ..transport.tcp import TcpStats
 
 #: Evaluated schemes, derived from the :mod:`repro.schemes` registry.
@@ -197,8 +210,22 @@ def run_flood_scenario(
     siff_mark_bits: int = 2,
     observer=None,
     faults=None,
+    topology: Optional[TopologySpec] = None,
+    aggregate: bool = False,
 ) -> TransferLog:
-    """Run one dumbbell scenario and return the users' transfer log.
+    """Run one flood scenario and return the users' transfer log.
+
+    By default the network is the Figure 7 dumbbell with ``n_attackers``
+    flood sources.  Pass ``topology`` (a
+    :class:`~repro.sim.topospec.TopologySpec`) to run the same workload
+    on any declarative graph — the attacker/user/destination/colluder
+    populations then come from the spec's node roles and ``n_attackers``
+    is ignored.  ``aggregate=True`` collapses attacker groups into
+    :class:`~repro.sim.node.AggregateHost` nodes driven by one
+    :class:`~repro.transport.AggregateSender` each, with per-member
+    start times and RNG streams drawn in exactly the order the expanded
+    build would draw them (so small-k aggregated runs are bit-identical
+    to expanded ones).
 
     ``observer`` is an optional
     :class:`~repro.obs.instrument.Observation`; when given it is
@@ -230,14 +257,14 @@ def run_flood_scenario(
         siff_accept_previous=siff_accept_previous,
         siff_mark_bits=siff_mark_bits,
     )
-    net = build_dumbbell(
-        sim,
-        scheme,
-        n_users=config.n_users,
-        n_attackers=n_attackers,
-        bottleneck_bps=config.bottleneck_bps,
-        with_colluder=True,
-    )
+    if topology is None:
+        topology = dumbbell_spec(
+            n_users=config.n_users,
+            n_attackers=n_attackers,
+            bottleneck_bps=config.bottleneck_bps,
+            with_colluder=True,
+        )
+    net = instantiate(topology, sim, scheme, aggregate=aggregate)
     log = TransferLog()
     TcpListener(sim, net.destination, 80)
     # Flood targets run an open datagram service; authorized-flood
@@ -261,6 +288,10 @@ def run_flood_scenario(
         )
 
     if attack == "colluder":
+        if net.colluder is None:
+            raise ValueError(
+                "colluder attack needs a colluder host in the topology"
+            )
         target = net.colluder.address
         mode = "shim"
     elif attack == "request":
@@ -273,20 +304,50 @@ def run_flood_scenario(
         target = net.destination.address
         mode = "legacy"
 
-    group_size = max(1, n_attackers // max(1, attack_groups))
-    for i, attacker in enumerate(net.attackers):
-        start = attack_start + (i // group_size) * group_stagger
-        CbrFlood(
-            sim,
-            attacker,
-            target,
-            rate_bps=config.attack_rate_bps,
-            pkt_size=config.attack_pkt_size,
-            mode=mode,
-            start_at=start + rng.uniform(0, 0.01),
-            jitter=0.3,
-            rng=random.Random(config.seed * 1000 + i),
-        )
+    # Attacker units are plain hosts and/or aggregated groups; ``idx``
+    # counts individual senders across both so start-time RNG draws and
+    # per-sender RNG seeds are identical however the units are packaged.
+    units = net.attacker_units or net.attackers
+    k_total = sum(getattr(unit, "count", 1) for unit in units)
+    group_size = max(1, k_total // max(1, attack_groups))
+    idx = 0
+    for unit in units:
+        if isinstance(unit, AggregateHost):
+            starts = [
+                attack_start
+                + ((idx + j) // group_size) * group_stagger
+                + rng.uniform(0, 0.01)
+                for j in range(unit.count)
+            ]
+            AggregateSender(
+                sim,
+                unit,
+                target,
+                rate_bps=config.attack_rate_bps,
+                pkt_size=config.attack_pkt_size,
+                mode=mode,
+                starts=starts,
+                jitter=0.3,
+                rngs=[
+                    random.Random(config.seed * 1000 + idx + j)
+                    for j in range(unit.count)
+                ],
+            )
+            idx += unit.count
+        else:
+            start = attack_start + (idx // group_size) * group_stagger
+            CbrFlood(
+                sim,
+                unit,
+                target,
+                rate_bps=config.attack_rate_bps,
+                pkt_size=config.attack_pkt_size,
+                mode=mode,
+                start_at=start + rng.uniform(0, 0.01),
+                jitter=0.3,
+                rng=random.Random(config.seed * 1000 + idx),
+            )
+            idx += 1
     schedule = coerce_schedule(faults)
     injector = None
     if schedule:

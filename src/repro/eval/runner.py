@@ -33,6 +33,7 @@ from typing import Callable, List, Optional, Sequence
 
 from .. import __version__
 from ..faults import FaultSchedule, coerce_schedule
+from ..sim.topospec import TopologySpec
 from .cache import ResultCache
 from .experiments import ExperimentConfig, run_flood_scenario
 from .results import PointResult, RunResult, SweepResult, normalize_metrics
@@ -95,6 +96,18 @@ class ScenarioSpec:
     #: before.  The field normalizes: event tuples, ``--fault`` spec
     #: strings, or ``None`` all coerce to a :class:`FaultSchedule`.
     faults: FaultSchedule = field(default_factory=FaultSchedule)
+    #: Declarative topology to run on instead of the default dumbbell
+    #: (see :mod:`repro.sim.topospec`); ``None`` keeps the historical
+    #: dumbbell behaviour.  Omitted from :meth:`canonical` when ``None``
+    #: so every pre-existing spec key — including the golden runs' —
+    #: is unchanged.
+    topology: Optional["TopologySpec"] = None
+    #: Collapse attacker host groups into aggregated senders (only
+    #: meaningful with ``topology``).  Also omitted from the canonical
+    #: form at its default, and *kept* when ``True`` — aggregation is
+    #: bit-identical only at matching per-member schedules, so it is a
+    #: distinct cache entry.
+    aggregate: bool = False
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -105,6 +118,12 @@ class ScenarioSpec:
             raise ValueError("metrics_interval must be positive")
         if not isinstance(self.faults, FaultSchedule):
             object.__setattr__(self, "faults", coerce_schedule(self.faults))
+        if self.topology is not None and not isinstance(self.topology, TopologySpec):
+            object.__setattr__(
+                self, "topology", TopologySpec.from_dict(self.topology)
+            )
+        if self.aggregate and self.topology is None:
+            raise ValueError("aggregate=True requires a topology spec")
 
     def canonical(self) -> dict:
         """The spec as plain data, independent of field ordering."""
@@ -113,6 +132,14 @@ class ScenarioSpec:
         # asdict() loses each event's ClassVar ``kind`` tag; use the
         # schedule's own canonical form (which keeps it).
         data["faults"] = self.faults.canonical()
+        # Topology fields stay out of the canonical form at their
+        # defaults so pre-topology spec keys (and the golden runs that
+        # embed them) are byte-for-byte unchanged.
+        if self.topology is None:
+            del data["topology"]
+            del data["aggregate"]
+        else:
+            data["topology"] = self.topology.canonical()
         return data
 
     def to_dict(self) -> dict:
@@ -156,8 +183,11 @@ def _policy_factory(spec: ScenarioSpec) -> Optional[Callable]:
     from ..core import FilteringPolicy, OraclePolicy, ServerPolicy
     from ..core.params import DEFAULT_GRANT_BYTES, DEFAULT_GRANT_SECONDS
 
-    n_users = spec.config.n_users
-    suspects = set(range(n_users + 1, n_users + spec.n_attackers + 1))
+    if spec.topology is not None:
+        suspects = set(spec.topology.role_addresses("attacker"))
+    else:
+        n_users = spec.config.n_users
+        suspects = set(range(n_users + 1, n_users + spec.n_attackers + 1))
     if spec.policy == "filtering":
         grant = spec.config.server_grant
         return lambda: FilteringPolicy(
@@ -195,6 +225,8 @@ def run_spec(spec: ScenarioSpec) -> RunResult:
         siff_mark_bits=spec.siff_mark_bits,
         observer=observer,
         faults=spec.faults,
+        topology=spec.topology,
+        aggregate=spec.aggregate,
     )
     horizon = max(0.0, config.duration - 2.0)
     metrics = normalize_metrics(observer.export()) if observer else None

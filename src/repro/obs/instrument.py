@@ -122,13 +122,14 @@ class Observation:
         These are the dynamics signals of Section 3.8 — after a fault, a
         recovery shows up as a burst of ``hosts.requests_sent`` (TVA) or
         ``hosts.explorers_sent`` (SIFF)."""
-        from ..sim.node import Host
+        from ..sim.node import AggregateHost, Host
 
-        shims = [
-            node.shim
-            for node in net.nodes
-            if isinstance(node, Host) and node.shim is not None
-        ]
+        shims = []
+        for node in net.nodes:
+            if isinstance(node, AggregateHost):
+                shims.extend(s for s in node.shims if s is not None)
+            elif isinstance(node, Host) and node.shim is not None:
+                shims.append(node.shim)
         for attr in (
             "requests_sent",
             "explorers_sent",

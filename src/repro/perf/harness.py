@@ -116,12 +116,61 @@ def _workload_codec(quick: bool) -> None:
         assert request.wire_size() == len(request.pack())
 
 
+def _run_topology(topology, aggregate: bool, duration: float) -> None:
+    run_spec(
+        ScenarioSpec(
+            scheme="tva",
+            attack="legacy",
+            n_attackers=len(topology.role_addresses("attacker")),
+            seed=1,
+            config=ExperimentConfig(duration=duration, seed=1),
+            topology=topology,
+            aggregate=aggregate,
+        )
+    )
+
+
+def _workload_topo_dumbbell(quick: bool) -> None:
+    """Topology scaling, point 1: the classic dumbbell (20 hosts)."""
+    from ..sim.topospec import dumbbell_spec
+
+    _run_topology(dumbbell_spec(), aggregate=False,
+                  duration=2.0 if quick else 6.0)
+
+
+def _workload_topo_tree(quick: bool) -> None:
+    """Topology scaling, point 2: aggregation tree, aggregated senders
+    (one AggregateSender per 40-attacker leaf group — 240 senders)."""
+    from ..sim.topospec import tree_spec
+
+    _run_topology(
+        tree_spec(users_per_leaf=1, attackers_per_leaf=40),
+        aggregate=True,
+        duration=2.0 if quick else 6.0,
+    )
+
+
+def _workload_topo_fattree(quick: bool) -> None:
+    """Topology scaling, point 3: k=4 fat-tree fabric, aggregated
+    senders on every non-victim edge (7 groups of 50 — 350 senders)."""
+    from ..sim.topospec import fat_tree_spec
+
+    _run_topology(
+        fat_tree_spec(users_per_edge=1, attackers_per_edge=50),
+        aggregate=True,
+        duration=2.0 if quick else 6.0,
+    )
+
+
 #: name -> workload, in report order.
 WORKLOADS: Dict[str, Callable[[bool], None]] = {
     "fig8_e2e": _workload_fig8,
     "event_loop": _workload_event_loop,
     "validation": _workload_validation,
     "codec": _workload_codec,
+    "topo_dumbbell": _workload_topo_dumbbell,
+    "topo_tree": _workload_topo_tree,
+    "topo_fattree": _workload_topo_fattree,
 }
 
 

@@ -1,0 +1,222 @@
+"""Curated scenario library: named topology + workload bundles.
+
+Each :class:`ScenarioDef` packages a declarative topology (see
+:mod:`repro.sim.topospec`), the attack class run on it, and the tuned
+experiment knobs, under a stable name.  ``repro scenario --list`` prints
+the registry; ``repro scenario --name <x>`` runs one entry through the
+same :class:`~repro.eval.runner.ScenarioSpec` path as every figure, so
+curated runs cache, parallelize, inject faults, and export metrics like
+any other spec — and stay bit-identical across worker counts and
+``PYTHONHASHSEED``.
+
+The library spans the regimes a single dumbbell cannot show: congestion
+at several tree levels at once, attack ingress spread over an AS graph,
+asymmetric forward/return routing, partial (mixed) deployment, and an
+aggregated 10^4-sender flood that still runs in one process (see
+:class:`~repro.transport.AggregateSender`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .eval.experiments import ExperimentConfig
+from .eval.runner import ScenarioSpec
+from .sim.topospec import (
+    TopologySpec,
+    as_graph_spec,
+    asymmetric_spec,
+    fat_tree_spec,
+    partial_deployment_spec,
+    tree_spec,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioDef:
+    """One curated scenario: a topology plus the workload tuned for it.
+
+    ``config_overrides`` holds ``(field, value)`` pairs applied to the
+    :class:`~repro.eval.experiments.ExperimentConfig`; keeping them as a
+    tuple keeps the definition hashable.
+    """
+
+    name: str
+    description: str
+    topology: TopologySpec
+    attack: str = "legacy"
+    aggregate: bool = False
+    policy: str = "server"
+    duration: float = 10.0
+    attack_start: float = 0.0
+    attack_groups: int = 1
+    group_stagger: float = 0.0
+    config_overrides: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def n_hosts(self) -> int:
+        return self.topology.n_hosts()
+
+    @property
+    def n_attackers(self) -> int:
+        return len(self.topology.role_addresses("attacker"))
+
+    def spec(
+        self,
+        scheme: str = "tva",
+        seed: int = 1,
+        duration: Optional[float] = None,
+        metrics: bool = False,
+        metrics_interval: float = 0.5,
+        faults=None,
+        **config_kwargs,
+    ) -> ScenarioSpec:
+        """The runnable :class:`ScenarioSpec` for this scenario.
+
+        ``duration`` and any ``ExperimentConfig`` field passed as a
+        keyword override the curated defaults; the definition itself is
+        immutable.
+        """
+        cfg = dict(self.config_overrides)
+        cfg.update(config_kwargs)
+        cfg["seed"] = seed
+        cfg["duration"] = self.duration if duration is None else duration
+        return ScenarioSpec(
+            scheme=scheme,
+            attack=self.attack,
+            n_attackers=self.n_attackers,
+            seed=seed,
+            config=ExperimentConfig(**cfg),
+            policy=self.policy,
+            attack_start=self.attack_start,
+            attack_groups=self.attack_groups,
+            group_stagger=self.group_stagger,
+            metrics=metrics,
+            metrics_interval=metrics_interval,
+            faults=faults if faults is not None else (),
+            topology=self.topology,
+            aggregate=self.aggregate,
+        )
+
+
+def _curated() -> List[ScenarioDef]:
+    return [
+        ScenarioDef(
+            name="tree-flood",
+            description=(
+                "Legacy floods from every leaf of an aggregation tree whose "
+                "capacity shrinks toward the root: congestion forms at "
+                "several levels at once, the regime where single-bottleneck "
+                "results are known to flip."
+            ),
+            topology=tree_spec(),
+        ),
+        ScenarioDef(
+            name="tree-flash-crowd",
+            description=(
+                "The same tree under a flash crowd: ten legitimate users per "
+                "leaf, no attackers.  The contrast with tree-flood separates "
+                "overload (which capabilities should admit fairly) from "
+                "attack (which they should exclude)."
+            ),
+            topology=tree_spec(users_per_leaf=10, attackers_per_leaf=0),
+        ),
+        ScenarioDef(
+            name="as-colluders",
+            description=(
+                "Colluder-authorized floods entering an AS-like transit/stub "
+                "graph at five different stub ASes: every attack packet is "
+                "capability-authorized, and ingress is spread so no single "
+                "edge tag covers the attack."
+            ),
+            topology=as_graph_spec(attackers_per_stub=5, with_colluder=True),
+            attack="colluder",
+            aggregate=True,
+        ),
+        ScenarioDef(
+            name="asymmetric-paths",
+            description=(
+                "Forward data and return grants ride different unidirectional "
+                "router paths with different latency, stressing the scheme's "
+                "assumption that return information retraces the request."
+            ),
+            topology=asymmetric_spec(),
+        ),
+        ScenarioDef(
+            name="partial-tva",
+            description=(
+                "A router chain with the scheme deployed on the edge hops "
+                "only (the middle router forwards like the legacy Internet): "
+                "the incremental-deployment story of Section 8."
+            ),
+            topology=partial_deployment_spec(),
+        ),
+        ScenarioDef(
+            name="fat-tree-flood",
+            description=(
+                "A k=4 fat-tree datacenter fabric with a full-bisection core; "
+                "the only queue that builds is the victim's edge downlink — "
+                "the incast regime."
+            ),
+            topology=fat_tree_spec(),
+        ),
+        ScenarioDef(
+            name="flood-10k",
+            description=(
+                "Ten thousand flood sources — four aggregated groups of 2500 "
+                "senders behind separate tree leaves — each at 50 kb/s "
+                "against a 10 Mb/s victim link.  Aggregated senders keep the "
+                "whole run in one process."
+            ),
+            topology=tree_spec(
+                branches=4,
+                leaves_per_branch=1,
+                users_per_leaf=2,
+                attackers_per_leaf=2500,
+            ),
+            aggregate=True,
+            duration=5.0,
+            config_overrides=(("attack_rate_bps", 50_000.0),),
+        ),
+    ]
+
+
+#: The registry, in curated order (insertion order is presentation order).
+SCENARIOS: Dict[str, ScenarioDef] = {s.name: s for s in _curated()}
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioDef:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {', '.join(SCENARIOS)}"
+        ) from None
+
+
+def format_scenario_table() -> str:
+    """The ``repro scenario --list`` table."""
+    rows = [
+        (s.name, s.topology.name, str(s.n_hosts), s.attack, s.description)
+        # repro: allow-unordered-iter — curated order IS the presentation order
+        for s in SCENARIOS.values()
+    ]
+    name_w = max(len(r[0]) for r in rows)
+    topo_w = max(len(r[1]) for r in rows)
+    host_w = max(len(r[2]) for r in rows)
+    atk_w = max(len(r[3]) for r in rows)
+    lines = [
+        f"{'name':{name_w}s}  {'topology':{topo_w}s}  "
+        f"{'hosts':>{host_w}s}  {'attack':{atk_w}s}  description"
+    ]
+    for name, topo, hosts, attack, desc in rows:
+        lines.append(
+            f"{name:{name_w}s}  {topo:{topo_w}s}  "
+            f"{hosts:>{host_w}s}  {attack:{atk_w}s}  {desc}"
+        )
+    return "\n".join(lines)

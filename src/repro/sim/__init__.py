@@ -8,8 +8,8 @@ Public surface::
 """
 
 from .engine import Event, SimulationError, Simulator
-from .link import Link
-from .node import Host, HostShim, Node, Router, RouterProcessor
+from .link import AggregateLink, Link
+from .node import AggregateHost, Host, HostShim, Node, Router, RouterProcessor
 from .packet import CAPABILITY_HEADER, IP_TCP_HEADER, Packet
 from .queues import (
     DRRFairQueue,
@@ -21,15 +21,30 @@ from .queues import (
 from .routing import RoutingError, build_static_routes
 from .topology import (
     Dumbbell,
+    Network,
     SchemeFactory,
     build_chain,
     build_dumbbell,
     build_parallel,
     build_two_tier,
+    instantiate,
+)
+from .topospec import (
+    LinkSpec,
+    NodeSpec,
+    TopologySpec,
+    as_graph_spec,
+    asymmetric_spec,
+    dumbbell_spec,
+    fat_tree_spec,
+    partial_deployment_spec,
+    tree_spec,
 )
 from .trace import LinkMonitor, LinkSample, TransferLog, TransferRecord
 
 __all__ = [
+    "AggregateHost",
+    "AggregateLink",
     "CAPABILITY_HEADER",
     "DRRFairQueue",
     "DropTailQueue",
@@ -41,7 +56,10 @@ __all__ = [
     "Link",
     "LinkMonitor",
     "LinkSample",
+    "LinkSpec",
+    "Network",
     "Node",
+    "NodeSpec",
     "Packet",
     "PriorityScheduler",
     "Qdisc",
@@ -52,11 +70,19 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "TokenBucket",
+    "TopologySpec",
     "TransferLog",
     "TransferRecord",
+    "as_graph_spec",
+    "asymmetric_spec",
     "build_chain",
     "build_two_tier",
     "build_dumbbell",
     "build_parallel",
     "build_static_routes",
+    "dumbbell_spec",
+    "fat_tree_spec",
+    "instantiate",
+    "partial_deployment_spec",
+    "tree_spec",
 ]

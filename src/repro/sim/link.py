@@ -121,6 +121,17 @@ class Link:
         return self._fault_drop_bytes.value
 
     # ------------------------------------------------------------------
+    def ingress_of(self, pkt: Packet) -> str:
+        """The ingress-interface identity of ``pkt`` on this link.
+
+        Trust-boundary routers key path-identifier tags on this (one tag
+        per ingress interface, Section 3.2).  A plain link is one
+        interface; an :class:`AggregateLink` resolves the packet to its
+        member channel so every aggregated sender keeps the distinct tag
+        its expanded equivalent would have."""
+        return self.name
+
+    # ------------------------------------------------------------------
     def send(self, pkt: Packet) -> bool:
         """Hand a packet to this link's queue; starts transmission if idle.
 
@@ -219,3 +230,166 @@ class Link:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Link {self.name} {self.bandwidth_bps/1e6:.1f}Mb/s {self.delay*1e3:.0f}ms>"
+
+
+class _Channel:
+    """Per-member transmit state of an :class:`AggregateLink`."""
+
+    __slots__ = ("qdisc", "busy", "poll_event")
+
+    def __init__(self, qdisc: Qdisc) -> None:
+        self.qdisc = qdisc
+        self.busy = False
+        self.poll_event: Optional[Event] = None
+
+
+class AggregateLink(Link):
+    """An access trunk bundling ``count`` independent member channels.
+
+    One :class:`AggregateLink` stands in for the ``count`` per-host
+    access links an expanded topology would have.  Each channel has its
+    own queue discipline (built on first use from ``qdisc_factory``) and
+    its own serial transmitter at ``bandwidth_bps``, so queueing
+    dynamics are exactly those of ``count`` separate links — the
+    savings are the per-``Link``/per-``Node`` objects and the routing
+    entries, not the model.
+
+    ``by="src"`` selects the channel from the packet's source address
+    (the uplink trunk), ``by="dst"`` from the destination (the
+    downlink).  Lazily built channel qdiscs start in the same state a
+    link-construction-time qdisc would have reached untouched (empty
+    queues, full token buckets), so lazy creation is behaviour-neutral.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: "Node",
+        dst: "Node",
+        bandwidth_bps: float,
+        delay: float,
+        qdisc_factory: Callable[[], Qdisc],
+        base_address: int,
+        count: int,
+        by: str,
+        member_prefix: str,
+        name: Optional[str] = None,
+    ) -> None:
+        if by not in ("src", "dst"):
+            raise ValueError(f"unknown channel selector {by!r}")
+        if count < 1:
+            raise ValueError("aggregate link needs at least one channel")
+        # The base-class qdisc slot holds channel 0's discipline so code
+        # that pokes link.qdisc (drain on faults, tests) sees a real one.
+        super().__init__(sim, src, dst, bandwidth_bps, delay,
+                         qdisc=qdisc_factory(), name=name)
+        self.qdisc_factory = qdisc_factory
+        self.base_address = base_address
+        self.count = count
+        self.by_src = by == "src"
+        self.member_prefix = member_prefix
+        self._channels: Dict[int, _Channel] = {0: _Channel(self.qdisc)}
+
+    # -- channel resolution --------------------------------------------
+    def _index_of(self, pkt: Packet) -> int:
+        addr = pkt.src if self.by_src else pkt.dst
+        idx = addr - self.base_address
+        if not 0 <= idx < self.count:
+            raise ValueError(
+                f"packet {'src' if self.by_src else 'dst'} {addr} outside "
+                f"aggregate {self.name} range "
+                f"[{self.base_address}, {self.base_address + self.count})"
+            )
+        return idx
+
+    def _channel(self, idx: int) -> _Channel:
+        channel = self._channels.get(idx)
+        if channel is None:
+            channel = _Channel(self.qdisc_factory())
+            self._channels[idx] = channel
+        return channel
+
+    def ingress_of(self, pkt: Packet) -> str:
+        # Matches the expanded per-host link name f"{member}->{router}".
+        return f"{self.member_prefix}{self._index_of(pkt)}->{self.dst.name}"
+
+    # -- data path ------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        if not self.up:
+            self._fault_drops.inc()
+            self._fault_drop_bytes.inc(pkt.size)
+            return False
+        channel = self._channel(self._index_of(pkt))
+        ok = channel.qdisc.enqueue(pkt)
+        if ok and not channel.busy:
+            self._pump_channel(channel)
+        return ok
+
+    def _pump_channel(self, channel: _Channel) -> None:
+        if channel.busy or not self.up:
+            return
+        now = self.sim.now
+        pkt = channel.qdisc.dequeue(now)
+        if pkt is None:
+            if not channel.qdisc.backlog_pkts:
+                return
+            ready = channel.qdisc.next_ready(now)
+            if ready is not None and channel.poll_event is None:
+                delay = max(1e-6, ready - now)
+                channel.poll_event = self.sim.after(
+                    delay, self._poll_channel, channel
+                )
+            return
+        channel.busy = True
+        tx_time = pkt.size * 8.0 / self.bandwidth_bps
+        self._tx_packets.inc()
+        self._tx_bytes.inc(pkt.size)
+        if self.classify is not None:
+            self.class_counter(self.classify(pkt)).inc(pkt.size)
+        self.sim.call_after(tx_time, self._channel_tx_done, channel, pkt)
+
+    def _poll_channel(self, channel: _Channel) -> None:
+        channel.poll_event = None
+        self._pump_channel(channel)
+
+    def _channel_tx_done(self, channel: _Channel, pkt: Packet) -> None:
+        channel.busy = False
+        self.sim.call_after(self.delay, self.dst.receive, pkt, self)
+        self._pump_channel(channel)
+
+    # -- fault model ----------------------------------------------------
+    def set_down(self) -> List[Packet]:
+        if not self.up:
+            return []
+        self.up = False
+        drained: List[Packet] = []
+        for idx in sorted(self._channels):
+            channel = self._channels[idx]
+            self.sim.cancel(channel.poll_event)
+            channel.poll_event = None
+            drained.extend(channel.qdisc.drain())
+        for pkt in drained:
+            self._fault_drops.inc()
+            self._fault_drop_bytes.inc(pkt.size)
+        return drained
+
+    def set_up(self) -> None:
+        if self.up:
+            return
+        self.up = True
+        for idx in sorted(self._channels):
+            channel = self._channels[idx]
+            if not channel.busy:
+                self._pump_channel(channel)
+
+    @property
+    def drops(self) -> int:
+        return sum(
+            self._channels[idx].qdisc.drops for idx in sorted(self._channels)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AggregateLink {self.name} x{self.count} "
+            f"{self.bandwidth_bps/1e6:.1f}Mb/s {self.delay*1e3:.0f}ms>"
+        )

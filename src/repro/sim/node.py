@@ -74,6 +74,11 @@ class Node:
         self.name = name
         #: destination address -> outgoing Link
         self.routing: Dict[int, Link] = {}
+        #: (lo, hi, Link) route entries covering the address block
+        #: ``lo <= addr < hi`` — one entry per reachable
+        #: :class:`AggregateHost`, consulted only on a ``routing`` miss so
+        #: the per-packet fast path is untouched on aggregate-free graphs.
+        self.routing_ranges: List[tuple] = []
         self.links_out: List[Link] = []
         self.rx_packets = 0
         self.dropped_no_route = 0
@@ -84,8 +89,17 @@ class Node:
     def receive(self, pkt: Packet, in_link: Optional[Link]) -> None:
         raise NotImplementedError
 
+    def range_route(self, dst: int) -> Optional[Link]:
+        for lo, hi, link in self.routing_ranges:
+            if lo <= dst < hi:
+                return link
+        return None
+
     def route_for(self, dst: int) -> Optional[Link]:
-        return self.routing.get(dst)
+        link = self.routing.get(dst)
+        if link is None and self.routing_ranges:
+            link = self.range_route(dst)
+        return link
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"
@@ -103,8 +117,11 @@ class Router(Node):
         self.rx_packets += 1
         out_link = self.routing.get(pkt.dst)
         if out_link is None:
-            self.dropped_no_route += 1
-            return
+            if self.routing_ranges:
+                out_link = self.range_route(pkt.dst)
+            if out_link is None:
+                self.dropped_no_route += 1
+                return
         if self.processor is not None:
             if not self.processor.process(pkt, self, in_link, out_link):
                 self.dropped_by_processor += 1
@@ -184,3 +201,115 @@ class Host(Node):
             if handler is not None:
                 return handler
         return self._handlers.get((pkt.proto, 0))
+
+
+class _VirtualSender:
+    """The host-shaped face of one member of an :class:`AggregateHost`.
+
+    Host shims talk to their host through exactly four touchpoints —
+    ``.sim``, ``.address``, ``.name``, and ``.send()`` — so a slotted
+    proxy per member lets every virtual sender run an unmodified
+    per-sender shim while sharing the aggregate's node, links, and
+    routing state.
+    """
+
+    __slots__ = ("aggregate", "address", "name")
+
+    def __init__(self, aggregate: "AggregateHost", index: int) -> None:
+        self.aggregate = aggregate
+        self.address = aggregate.address + index
+        self.name = f"{aggregate.member_prefix}{index}"
+
+    @property
+    def sim(self) -> Simulator:
+        return self.aggregate.sim
+
+    def send(self, pkt: Packet) -> bool:
+        return self.aggregate.send_virtual(self.address - self.aggregate.address, pkt)
+
+    def send_raw(self, pkt: Packet) -> bool:
+        return self.aggregate.send_raw(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<virtual {self.name} addr={self.address}>"
+
+
+class AggregateHost(Host):
+    """One node standing in for ``count`` homogeneous sender hosts.
+
+    Owns the address block ``[address, address + count)``.  Each member
+    keeps its own shim (attached to a :class:`_VirtualSender` proxy) and
+    its own access-link channel (see
+    :class:`~repro.sim.link.AggregateLink`), so capability handshakes,
+    path-identifier tags, and per-sender queueing are identical to the
+    expanded topology — only the per-host ``Host``/``Link`` objects and
+    routing entries are shared.  Members never bind transports:
+    aggregation is for flood senders, whose incoming traffic is control
+    packets (consumed by the shim) or unexpected.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        address: int,
+        count: int,
+        member_prefix: Optional[str] = None,
+    ) -> None:
+        if count < 1:
+            raise ValueError("aggregate host needs at least one member")
+        super().__init__(sim, name, address, shim=None)
+        self.count = count
+        self.member_prefix = member_prefix if member_prefix is not None else name
+        #: Per-member shims (may be ``None`` per member for shim-less
+        #: schemes); empty until :meth:`set_shims`.
+        self.shims: List[Optional[HostShim]] = []
+        self.virtuals: List[_VirtualSender] = [
+            _VirtualSender(self, i) for i in range(count)
+        ]
+
+    def owns(self, address: int) -> bool:
+        return self.address <= address < self.address + self.count
+
+    def set_shims(self, shims: List[Optional[HostShim]]) -> None:
+        """Install one shim per member (``None`` entries allowed)."""
+        if len(shims) != self.count:
+            raise ValueError(
+                f"{self.name}: got {len(shims)} shims for {self.count} members"
+            )
+        self.shims = list(shims)
+        for i, shim in enumerate(self.shims):
+            if shim is not None:
+                shim.attach(self.virtuals[i])
+
+    def shim_for(self, index: int) -> Optional[HostShim]:
+        return self.shims[index] if self.shims else None
+
+    # -- data path ------------------------------------------------------
+    def send_virtual(self, index: int, pkt: Packet) -> bool:
+        """Send on behalf of member ``index``, through its shim — the
+        aggregate's equivalent of ``Host.send`` on the expanded host."""
+        shim = self.shim_for(index)
+        if shim is not None:
+            shim.on_send(pkt)
+        return self.send_raw(pkt)
+
+    def send(self, pkt: Packet) -> bool:
+        raise TypeError(
+            "AggregateHost has no single shim; use send_virtual(index, pkt) "
+            "or a member's _VirtualSender"
+        )
+
+    def receive(self, pkt: Packet, in_link: Optional[Link]) -> None:
+        self.rx_packets += 1
+        index = pkt.dst - self.address
+        if not 0 <= index < self.count:
+            self.undeliverable += 1
+            return
+        shim = self.shim_for(index)
+        if shim is not None and not shim.on_receive(pkt):
+            return  # control-only packet, consumed by the member's shim
+        # Members bind no transports, exactly like expanded flood hosts.
+        self.undeliverable += 1
+        if shim is not None:
+            shim.on_unexpected(pkt)

@@ -13,7 +13,7 @@ from collections import deque
 from typing import Dict, Iterable, List
 
 from .link import Link
-from .node import Host, Node
+from .node import AggregateHost, Host, Node
 
 
 class RoutingError(Exception):
@@ -24,6 +24,26 @@ def _neighbors(node: Node) -> Iterable[Link]:
     return node.links_out
 
 
+def _block(host: Host) -> tuple:
+    """The address block ``[lo, hi)`` a host answers for."""
+    if isinstance(host, AggregateHost):
+        return host.address, host.address + host.count
+    return host.address, host.address + 1
+
+
+def _install(node: Node, lo: int, hi: int, link: Link) -> None:
+    if hi - lo == 1:
+        node.routing[lo] = link
+    else:
+        node.routing_ranges.append((lo, hi, link))
+
+
+def _installed(node: Node, lo: int, hi: int) -> bool:
+    if hi - lo == 1:
+        return lo in node.routing
+    return any(entry[0] == lo for entry in node.routing_ranges)
+
+
 def build_static_routes(nodes: List[Node], strict: bool = True) -> None:
     """Populate every node's routing table toward every host address.
 
@@ -32,6 +52,16 @@ def build_static_routes(nodes: List[Node], strict: bool = True) -> None:
     route.  With symmetric topologies (every builder in this package creates
     duplex links) a forward BFS from each node would give identical results,
     but the backward sweep is O(hosts * edges) instead of O(nodes * edges).
+
+    Equal-cost ties break deterministically: each node's incoming links
+    are explored in sorted ``(src.name, dst.name, name)`` order, so the
+    chosen route is a pure function of the graph — independent of node
+    construction order and of ``PYTHONHASHSEED``.  (On ``build_parallel``
+    this preserves the documented RA-over-RB preference.)
+
+    An :class:`~repro.sim.node.AggregateHost` installs one
+    ``routing_ranges`` block entry per node instead of ``count``
+    per-address entries, and costs one BFS instead of ``count``.
 
     Down links (``link.up`` is ``False``) are ignored, so a rebuild after a
     fault routes around the failure.  Stale routes from a previous build are
@@ -49,11 +79,19 @@ def build_static_routes(nodes: List[Node], strict: bool = True) -> None:
         for link in node.links_out:
             if link.up and link.dst in incoming:
                 incoming[link.dst].append(link)
+    for node in nodes:
+        incoming[node].sort(key=lambda l: (l.src.name, l.dst.name, l.name))
 
     hosts = [node for node in nodes if isinstance(node, Host)]
     for host in hosts:
+        lo, hi = _block(host)
         for node in nodes:
-            node.routing.pop(host.address, None)
+            if hi - lo == 1:
+                node.routing.pop(lo, None)
+            else:
+                node.routing_ranges = [
+                    entry for entry in node.routing_ranges if entry[0] != lo
+                ]
         dist: Dict[Node, int] = {host: 0}
         frontier = deque([host])
         while frontier:
@@ -62,10 +100,10 @@ def build_static_routes(nodes: List[Node], strict: bool = True) -> None:
                 prev = link.src
                 if prev not in dist:
                     dist[prev] = dist[cur] + 1
-                    prev.routing[host.address] = link
+                    _install(prev, lo, hi, link)
                     frontier.append(prev)
-                elif dist[prev] == dist[cur] + 1 and host.address not in prev.routing:
-                    prev.routing[host.address] = link
+                elif dist[prev] == dist[cur] + 1 and not _installed(prev, lo, hi):
+                    _install(prev, lo, hi, link)
         unreachable = [n.name for n in nodes if n is not host and n not in dist]
         if unreachable and strict:
             raise RoutingError(

@@ -1,10 +1,20 @@
-"""Topology builders.
+"""Topology construction: specs to live networks.
+
+:func:`instantiate` turns a declarative
+:class:`~repro.sim.topospec.TopologySpec` into a wired
+:class:`Network` — nodes, links, shims, static routes — for any scheme
+implementing :class:`SchemeFactory`.  With ``aggregate=True``, attacker
+host groups collapse into :class:`~repro.sim.node.AggregateHost` nodes
+(one node + one channelized access trunk per group), which is how
+10^4–10^5-sender scenarios fit in one process.
 
 :func:`build_dumbbell` constructs the simulation topology of Figure 7: ten
 legitimate users and a variable number of attackers on the left, a 10 Mb/s
 10 ms bottleneck in the middle, and the destination (plus an optional
 colluder) on the right.  Access links add 10 ms each way, giving the
-paper's 60 ms RTT.
+paper's 60 ms RTT.  It is a thin wrapper over
+``instantiate(dumbbell_spec(...))`` and is construction-order equivalent
+to the historical hand-rolled builder (the golden-run suite pins this).
 
 Builders are scheme-parametric.  A *scheme* object supplies the queue
 discipline for each link, the router processor, and the host shim; the four
@@ -15,13 +25,14 @@ implement this factory protocol.  See :class:`SchemeFactory`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .engine import Simulator
-from .link import Link
-from .node import Host, HostShim, Node, Router, RouterProcessor
+from .link import AggregateLink, Link
+from .node import AggregateHost, Host, HostShim, Node, Router, RouterProcessor
 from .queues import DropTailQueue, Qdisc
 from .routing import build_static_routes
+from .topospec import LinkSpec, NodeSpec, TopologySpec, dumbbell_spec
 
 
 class SchemeFactory:
@@ -77,8 +88,16 @@ class SchemeFactory:
 
 
 @dataclass
-class Dumbbell:
-    """The constructed Figure 7 network plus handles to everything in it."""
+class Network:
+    """A constructed network plus handles to everything in it.
+
+    ``attacker_units`` lists attack senders at node granularity: plain
+    per-sender :class:`Host` objects and/or :class:`AggregateHost`
+    groups, in construction order (``attackers`` keeps only the expanded
+    hosts, for backward compatibility).  ``spec`` is the
+    :class:`~repro.sim.topospec.TopologySpec` this network was built
+    from, when it came through :func:`instantiate`.
+    """
 
     sim: Simulator
     users: List[Host] = field(default_factory=list)
@@ -91,6 +110,9 @@ class Dumbbell:
     reverse_bottleneck: Optional[Link] = None
     nodes: List[Node] = field(default_factory=list)
     links: List[Link] = field(default_factory=list)
+    spec: Optional[TopologySpec] = None
+    attacker_units: List[Node] = field(default_factory=list)
+    aggregates: List[AggregateHost] = field(default_factory=list)
 
     def host_by_address(self, address: int) -> Optional[Host]:
         for node in self.nodes:
@@ -129,6 +151,11 @@ class Dumbbell:
         return found
 
 
+#: Backward-compatible alias: the Figure 7 network type grew into the
+#: general Network; existing imports keep working.
+Dumbbell = Network
+
+
 def _duplex(
     scheme: SchemeFactory,
     sim: Simulator,
@@ -152,6 +179,149 @@ def _duplex(
     return ab, ba
 
 
+# ---------------------------------------------------------------------------
+# Spec instantiation
+# ---------------------------------------------------------------------------
+
+def _make_oneway(
+    sim: Simulator,
+    scheme: SchemeFactory,
+    a: Node,
+    b: Node,
+    bandwidth_bps: float,
+    delay: float,
+    kind: str,
+    boundary: bool,
+    links: List[Link],
+) -> Link:
+    """One directed link ``a -> b``; an aggregate endpoint gets a trunk."""
+    if isinstance(a, AggregateHost):
+        link: Link = AggregateLink(
+            sim, a, b, bandwidth_bps, delay,
+            qdisc_factory=lambda: scheme.make_qdisc(kind, bandwidth_bps),
+            base_address=a.address, count=a.count, by="src",
+            member_prefix=a.member_prefix,
+        )
+    elif isinstance(b, AggregateHost):
+        link = AggregateLink(
+            sim, a, b, bandwidth_bps, delay,
+            qdisc_factory=lambda: scheme.make_qdisc(kind, bandwidth_bps),
+            base_address=b.address, count=b.count, by="dst",
+            member_prefix=b.member_prefix,
+        )
+    else:
+        link = Link(sim, a, b, bandwidth_bps, delay,
+                    scheme.make_qdisc(kind, bandwidth_bps))
+    link.boundary_ingress = boundary
+    a.add_link(link)
+    links.append(link)
+    return link
+
+
+def instantiate(
+    spec: TopologySpec,
+    sim: Simulator,
+    scheme: SchemeFactory,
+    aggregate: bool = False,
+) -> Network:
+    """Build a live :class:`Network` from a declarative spec.
+
+    Construction order is deterministic and matters: routers and host
+    groups are created in node-declaration order (host shims draw from
+    the scheme's RNG, so shim creation order is part of the simulation's
+    seed contract), then links in link-declaration order.  For the
+    dumbbell spec this reproduces the historical ``build_dumbbell``
+    construction exactly.
+
+    With ``aggregate=True``, attacker groups with more than one member
+    become a single :class:`~repro.sim.node.AggregateHost` whose access
+    wire is a channelized :class:`~repro.sim.link.AggregateLink`; per-
+    member shims are still created (in the same scheme-RNG order), so
+    capability behaviour is identical to the expanded build.
+    """
+    net = Network(sim=sim, spec=spec)
+    by_name: Dict[str, Node] = {}
+    members: Dict[str, List[Host]] = {}
+    bases = spec.base_addresses()
+
+    for ns in spec.nodes:
+        if ns.kind == "router":
+            processor = (
+                scheme.make_router_processor(ns.name, ns.trust_boundary)
+                if ns.scheme_enabled else None
+            )
+            router = Router(sim, ns.name, processor)
+            by_name[ns.name] = router
+            net.nodes.append(router)
+            if net.left is None:
+                net.left = router
+            net.right = router
+            continue
+        if ns.count == 0:
+            members[ns.name] = []
+            continue
+        base = bases[ns.name]
+        if aggregate and ns.count > 1 and ns.role == "attacker":
+            agg = AggregateHost(sim, ns.name, base, ns.count,
+                                member_prefix=ns.name if ns.is_indexed else None)
+            agg.set_shims(
+                [scheme.make_host_shim(ns.role) for _ in range(ns.count)]
+            )
+            by_name[ns.name] = agg
+            net.nodes.append(agg)
+            net.aggregates.append(agg)
+            net.attacker_units.append(agg)
+            continue
+        made: List[Host] = []
+        for i in range(ns.count):
+            host = Host(sim, ns.member_name(i), base + i,
+                        shim=scheme.make_host_shim(ns.role))
+            net.nodes.append(host)
+            made.append(host)
+        members[ns.name] = made
+        by_name[ns.name] = made[0]
+        if ns.role == "user":
+            net.users.extend(made)
+        elif ns.role == "attacker":
+            net.attackers.extend(made)
+            net.attacker_units.extend(made)
+        elif ns.role == "destination":
+            net.destination = made[0]
+        elif ns.role == "colluder":
+            net.colluder = made[0]
+
+    def endpoints(name: str) -> List[Node]:
+        expanded = members.get(name)
+        if expanded is not None:
+            return list(expanded)
+        return [by_name[name]]
+
+    for ls in spec.links:
+        src_nodes = endpoints(ls.src)
+        dst_nodes = endpoints(ls.dst)
+        if len(src_nodes) > 1 and len(dst_nodes) > 1:
+            raise ValueError(
+                f"link {ls.src}->{ls.dst}: group-to-group wires unsupported"
+            )
+        for a in src_nodes:
+            for b in dst_nodes:
+                fwd = _make_oneway(sim, scheme, a, b, ls.bandwidth_bps,
+                                   ls.delay, ls.kind, ls.ingress_forward,
+                                   net.links)
+                back: Optional[Link] = None
+                if ls.kind_back is not None:
+                    back = _make_oneway(sim, scheme, b, a, ls.bandwidth_bps,
+                                        ls.delay, ls.kind_back,
+                                        ls.ingress_back, net.links)
+                if ls.bottleneck and net.bottleneck is None:
+                    net.bottleneck = fwd
+                    net.reverse_bottleneck = back
+
+    build_static_routes(net.nodes)
+    scheme.wire(net)
+    return net
+
+
 def build_dumbbell(
     sim: Simulator,
     scheme: SchemeFactory,
@@ -162,48 +332,26 @@ def build_dumbbell(
     access_bps: float = 100e6,
     access_delay: float = 0.010,
     with_colluder: bool = True,
-) -> Dumbbell:
+) -> Network:
     """Build the Figure 7 dumbbell for ``scheme``.
 
     Left router is the trust boundary where path identifiers are stamped
     (one ingress interface per host, so each sender gets a distinct tag,
     matching the paper's "AS edge" behaviour).
     """
-    net = Dumbbell(sim=sim)
-    # Both routers are AS-edge trust boundaries: each tags requests
-    # arriving from its directly attached hosts (Section 3.2).
-    left = Router(sim, "R1", scheme.make_router_processor("R1", trust_boundary=True))
-    right = Router(sim, "R2", scheme.make_router_processor("R2", trust_boundary=True))
-    net.left, net.right = left, right
-    net.nodes.extend((left, right))
-
-    net.bottleneck, net.reverse_bottleneck = _duplex(
-        scheme, sim, left, right, bottleneck_bps, bottleneck_delay,
-        "bottleneck", "core", net.links,
+    return instantiate(
+        dumbbell_spec(
+            n_users=n_users,
+            n_attackers=n_attackers,
+            bottleneck_bps=bottleneck_bps,
+            bottleneck_delay=bottleneck_delay,
+            access_bps=access_bps,
+            access_delay=access_delay,
+            with_colluder=with_colluder,
+        ),
+        sim,
+        scheme,
     )
-
-    next_addr = 1
-
-    def add_host(name: str, role: str, side: Router) -> Host:
-        nonlocal next_addr
-        host = Host(sim, name, next_addr, shim=scheme.make_host_shim(role))
-        next_addr += 1
-        _duplex(scheme, sim, host, side, access_bps, access_delay,
-                "access_up", "access_down", net.links)
-        net.nodes.append(host)
-        return host
-
-    for i in range(n_users):
-        net.users.append(add_host(f"user{i}", "user", left))
-    for i in range(n_attackers):
-        net.attackers.append(add_host(f"attacker{i}", "attacker", left))
-    net.destination = add_host("destination", "destination", right)
-    if with_colluder:
-        net.colluder = add_host("colluder", "colluder", right)
-
-    build_static_routes(net.nodes)
-    scheme.wire(net)
-    return net
 
 
 def build_two_tier(

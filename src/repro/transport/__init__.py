@@ -1,6 +1,11 @@
 """Transport substrate: the paper-modified TCP and traffic agents."""
 
-from .agents import CbrFlood, PacketSink, RepeatingTransferClient
+from .agents import (
+    AggregateSender,
+    CbrFlood,
+    PacketSink,
+    RepeatingTransferClient,
+)
 from .tcp import (
     FLAG_ACK,
     FLAG_FIN,
@@ -13,6 +18,7 @@ from .tcp import (
 )
 
 __all__ = [
+    "AggregateSender",
     "CbrFlood",
     "PacketSink",
     "FLAG_ACK",

@@ -13,12 +13,13 @@
 
 from __future__ import annotations
 
+import heapq
 import random
-from typing import Optional
+from typing import List, Optional
 
 from ..core.header import RequestHeader
 from ..sim.engine import Simulator
-from ..sim.node import Host
+from ..sim.node import AggregateHost, Host
 from ..sim.packet import Packet
 from ..sim.trace import TransferLog
 from .tcp import TcpParams, TcpSender, TcpStats
@@ -204,3 +205,113 @@ class CbrFlood:
             return
         shim = RequestHeader() if self.mode == "request" else None
         self.host.send_raw(self._packet(self.pkt_size, shim))
+
+
+class AggregateSender:
+    """``k`` :class:`CbrFlood` senders driven by one agent.
+
+    Models every member of an :class:`~repro.sim.node.AggregateHost` as
+    an independent CBR flood with its own start time, RNG stream, shim,
+    and source address.  Member schedules are interleaved through a
+    single binary heap keyed on next-emission time, so the merged packet
+    sequence matches what ``k`` separate :class:`CbrFlood` agents would
+    produce (per-member behaviour — probe handshakes, jitter draws,
+    packet sizes — is a line-for-line mirror of :class:`CbrFlood`).
+    Exactly one simulator event is outstanding at any moment, which is
+    what lets 10^4–10^5 senders fit in one process.
+    """
+
+    PROBE_SIZE = CbrFlood.PROBE_SIZE
+    PROBE_INTERVAL = CbrFlood.PROBE_INTERVAL
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: AggregateHost,
+        dst: int,
+        rate_bps: float = 1e6,
+        pkt_size: int = 1500,
+        mode: str = "legacy",
+        starts: Optional[List[float]] = None,
+        stop_at: Optional[float] = None,
+        jitter: float = 0.0,
+        rngs: Optional[List[random.Random]] = None,
+    ) -> None:
+        if mode not in ("legacy", "request", "shim"):
+            raise ValueError(f"unknown flood mode {mode!r}")
+        if rate_bps <= 0:
+            raise ValueError("flood rate must be positive")
+        self.sim = sim
+        self.host = host
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.pkt_size = pkt_size
+        self.mode = mode
+        self.stop_at = stop_at
+        self.jitter = jitter
+        self.count = host.count
+        if starts is not None and len(starts) != self.count:
+            raise ValueError(f"got {len(starts)} starts for {self.count} members")
+        if rngs is not None and len(rngs) != self.count:
+            raise ValueError(f"got {len(rngs)} rngs for {self.count} members")
+        self.rngs = rngs if rngs is not None else [
+            random.Random(host.address + i) for i in range(self.count)
+        ]
+        self.packets_sent = 0
+        self.probes_sent = 0
+        self.interval = pkt_size * 8.0 / rate_bps
+        self._last_probe = [-1e9] * self.count
+        self._heap: List[tuple] = [
+            ((starts[i] if starts is not None else 0.0), i)
+            for i in range(self.count)
+        ]
+        heapq.heapify(self._heap)
+        self._schedule()
+
+    # ------------------------------------------------------------------
+    def _schedule(self) -> None:
+        if self._heap:
+            self.sim.at(self._heap[0][0], self._fire)
+
+    def _fire(self) -> None:
+        _, i = heapq.heappop(self._heap)
+        nxt = self._tick_member(i)
+        if nxt is not None:
+            heapq.heappush(self._heap, (nxt, i))
+        self._schedule()
+
+    def _tick_member(self, i: int) -> Optional[float]:
+        """One member's :meth:`CbrFlood._tick`; returns its next fire time."""
+        now = self.sim.now
+        if self.stop_at is not None and now >= self.stop_at:
+            return None
+        if self.mode == "shim" and not self._authorized(i):
+            if now - self._last_probe[i] >= self.PROBE_INTERVAL:
+                self._last_probe[i] = now
+                self.probes_sent += 1
+                self.host.virtuals[i].send(self._packet(i, self.PROBE_SIZE))
+            return now + self.PROBE_INTERVAL / 3.0
+        self.packets_sent += 1
+        if self.mode == "shim":
+            self.host.virtuals[i].send(self._packet(i, self.pkt_size))
+        else:
+            shim = RequestHeader() if self.mode == "request" else None
+            self.host.send_raw(self._packet(i, self.pkt_size, shim))
+        delay = self.interval
+        if self.jitter:
+            delay *= 1.0 + self.rngs[i].uniform(-self.jitter, self.jitter)
+        return now + delay
+
+    def _authorized(self, i: int) -> bool:
+        shim = self.host.shim_for(i)
+        return shim is None or shim.authorized(self.dst)
+
+    def _packet(self, i: int, size: int, shim=None) -> Packet:
+        return Packet(
+            src=self.host.address + i,
+            dst=self.dst,
+            size=size,
+            proto="cbr",
+            shim=shim,
+            created=self.sim.now,
+        )

@@ -111,3 +111,32 @@ class TestChain:
         net = build_chain(sim, SchemeFactory(), n_routers=3)
         routers = [n for n in net.nodes if isinstance(n, Router)]
         assert len(routers) == 3
+
+
+class TestEqualCostTieBreak:
+    """Equal-cost routes must resolve by sorted link order, not by node
+    construction/insertion order (which used to leak into the choice)."""
+
+    @staticmethod
+    def _diamond(sim, reverse_insertion):
+        """src -- (RA | RB) -- dst diamond with two equal-cost paths."""
+        src, dst = Host(sim, "src", 1), Host(sim, "dst", 2)
+        ra, rb = Router(sim, "RA"), Router(sim, "RB")
+        mids = [rb, ra] if reverse_insertion else [ra, rb]
+        nodes = [src] + mids + [dst]
+        for mid in mids:
+            for a, b in ((src, mid), (mid, dst)):
+                for x, y in ((a, b), (b, a)):
+                    link = Link(sim, x, y, 1e6, 0.001, DropTailQueue())
+                    x.add_link(link)
+        build_static_routes(nodes)
+        return src, dst
+
+    def test_choice_is_insertion_order_independent(self):
+        routes = []
+        for reverse in (False, True):
+            src, dst = self._diamond(Simulator(), reverse)
+            routes.append((src.routing[2].dst.name, dst.routing[1].dst.name))
+        assert routes[0] == routes[1]
+        # sorted (src.name, dst.name, name) order prefers RA on both legs
+        assert routes[0] == ("RA", "RA")

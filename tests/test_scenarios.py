@@ -1,0 +1,90 @@
+"""The curated scenario library and its CLI surface."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    SCENARIO_LIBRARY,
+    ScenarioSpec,
+    format_scenario_table,
+    get_scenario,
+    run_spec,
+    scenario_names,
+)
+from repro.cli import main
+
+
+class TestRegistry:
+    def test_names_are_stable(self):
+        assert scenario_names() == [
+            "tree-flood",
+            "tree-flash-crowd",
+            "as-colluders",
+            "asymmetric-paths",
+            "partial-tva",
+            "fat-tree-flood",
+            "flood-10k",
+        ]
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(KeyError, match="no-such"):
+            get_scenario("no-such-scenario")
+
+    def test_flood_10k_shape(self):
+        s = get_scenario("flood-10k")
+        assert s.n_attackers == 10_000
+        assert s.aggregate
+        assert s.n_hosts > 10_000
+
+    def test_defs_are_hashable(self):
+        assert len({s for s in SCENARIO_LIBRARY.values()}) == len(SCENARIO_LIBRARY)
+
+    def test_spec_overrides(self):
+        s = get_scenario("tree-flood")
+        spec = s.spec(scheme="siff", seed=7, duration=2.5)
+        assert isinstance(spec, ScenarioSpec)
+        assert spec.scheme == "siff"
+        assert spec.seed == 7
+        assert spec.config.duration == 2.5
+        assert spec.topology == s.topology
+        # spec keys are stable content hashes: same call, same key
+        assert spec.key() == s.spec(scheme="siff", seed=7, duration=2.5).key()
+
+    def test_table_lists_every_scenario(self):
+        table = format_scenario_table()
+        for name in scenario_names():
+            assert name in table
+
+
+class TestScenarioRuns:
+    def test_curated_run_is_deterministic(self):
+        spec = get_scenario("tree-flood").spec(duration=2.0)
+        a = run_spec(spec).to_dict()
+        b = run_spec(spec).to_dict()
+        assert a == b
+        assert a["transfers_completed"] > 0
+
+    def test_flash_crowd_has_no_attackers(self):
+        spec = get_scenario("tree-flash-crowd").spec(duration=2.0)
+        result = run_spec(spec)
+        assert result.n_attackers == 0
+        assert result.transfers_completed > 0
+
+
+class TestCli:
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_scenario_by_name_json(self, capsys):
+        assert main(["scenario", "--name", "partial-tva", "--duration", "2",
+                     "--no-cache", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["transfers_completed"] > 0
+
+    def test_scenario_unknown_name(self, capsys):
+        assert main(["scenario", "--name", "bogus", "--no-cache"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
