@@ -64,7 +64,13 @@ from .scenarios import (
 )
 
 # -- scenario running ------------------------------------------------------
-from .eval.cache import ResultCache, default_cache_dir
+from .eval.cache import (
+    CacheBackend,
+    DirectoryBackend,
+    LayeredBackend,
+    ResultCache,
+    default_cache_dir,
+)
 from .eval.dynamics import (
     DYNAMICS_SCHEMES,
     DynamicsResult,
@@ -73,13 +79,24 @@ from .eval.dynamics import (
     run_dynamics,
 )
 from .eval.experiments import ExperimentConfig, run_flood_scenario
-from .eval.results import PointResult, RunResult, SweepResult
+from .eval.results import PointResult, RunResult, ShardReport, SweepResult
 from .eval.runner import (
     ScenarioSpec,
+    SpecFailure,
+    SweepEvent,
+    SweepFailure,
     SweepRunner,
     build_fig11_spec,
     build_flood_specs,
     run_spec,
+)
+from .eval.service import (
+    ProgressLog,
+    SweepManifest,
+    SweepService,
+    default_manifest_path,
+    parse_shard,
+    shard_specs,
 )
 
 # -- building blocks for custom topologies (what examples/ use) ------------
@@ -190,12 +207,26 @@ __all__ = [
     "PointResult",
     "SweepResult",
     "SweepRunner",
+    "SweepEvent",
+    "SweepFailure",
+    "SpecFailure",
     "ResultCache",
+    "CacheBackend",
+    "DirectoryBackend",
+    "LayeredBackend",
     "default_cache_dir",
     "run_spec",
     "run_flood_scenario",
     "build_flood_specs",
     "build_fig11_spec",
+    # sharded sweep service
+    "SweepService",
+    "SweepManifest",
+    "ShardReport",
+    "ProgressLog",
+    "shard_specs",
+    "parse_shard",
+    "default_manifest_path",
     # curated scenario library
     "SCENARIO_LIBRARY",
     "ScenarioDef",

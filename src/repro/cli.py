@@ -13,6 +13,8 @@ Examples::
     python -m repro scenario --scheme tva --fault link-down:1.0:5.0:bottleneck
     python -m repro dynamics --jobs 2 --metrics   # recovery after a reboot
     python -m repro lint                          # determinism static analysis
+    python -m repro sweep --shard 0/2 --cache-dir /shared/cache   # half a grid
+    python -m repro sweep --merge --json          # reassemble + emit the grid
 
 Every simulation subcommand shares the sweep-runner flags: ``--jobs N``
 fans sweep points out across processes (default: all cores), ``--seeds
@@ -52,6 +54,7 @@ from .eval.runner import (
     build_fig11_spec,
     build_flood_specs,
 )
+from .eval.service import SweepService, parse_shard
 from .faults import FaultSchedule
 
 
@@ -79,6 +82,16 @@ def _positive_int(value: str) -> int:
         raise argparse.ArgumentTypeError(str(exc))
     if parsed < 1:
         raise argparse.ArgumentTypeError("must be >= 1")
+    return parsed
+
+
+def _nonnegative_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    if parsed < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
     return parsed
 
 
@@ -441,6 +454,63 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _parse_shard_arg(value: str):
+    try:
+        return parse_shard(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _cmd_sweep(args) -> int:
+    """Sharded, resumable sweep over a shared cache (repro.eval.service).
+
+    Each invocation runs its ``--shard i/N`` slice of the grid,
+    journaling per-spec status to a manifest next to the cache; a
+    re-invocation after a crash re-runs only missing/failed specs.  With
+    ``--merge`` (or when unsharded) it then reassembles the whole grid
+    from the cache into SweepResult JSON byte-identical to a
+    single-process ``--jobs 1`` run.
+    """
+    from .eval.cache import default_cache_dir
+
+    config = ExperimentConfig(duration=args.duration, seed=args.seed)
+    specs = build_flood_specs(args.attack, args.schemes, args.sweep, config,
+                              metrics=args.metrics,
+                              metrics_interval=args.metrics_interval)
+    cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+    cache = ResultCache(cache_dir)
+
+    def ticker(spec, cached):
+        tag = " (cached)" if cached else ""
+        print(f"\r{spec.scheme} k={spec.n_attackers} seed={spec.seed}"
+              f" done{tag}   ", end="", file=sys.stderr)
+
+    shard, of = args.shard if args.shard else (0, 1)
+    service = SweepService(
+        cache,
+        jobs=args.jobs,
+        retries=args.retries,
+        manifest_path=args.manifest,
+        progress_log=args.progress_log,
+        progress=ticker,
+    )
+    report = service.run_shard(specs, shard=shard, of=of, seeds=args.seeds)
+    print("", file=sys.stderr)
+    print(report.summary(), file=sys.stderr)
+    if not report.ok:
+        return 1
+    if of == 1 or args.merge:
+        title = (f"Sharded sweep — {args.attack} floods, "
+                 f"{','.join(args.schemes)}")
+        result = service.merge(specs, seeds=args.seeds, title=title)
+        print("", file=sys.stderr)
+        if args.json:
+            print(result.to_json())
+        else:
+            print(result.table())
+    return 0
+
+
 def _cmd_report(args) -> int:
     """Run every experiment at the chosen scale and write one markdown
     report — the whole evaluation in a single command.
@@ -622,6 +692,57 @@ def build_parser() -> argparse.ArgumentParser:
     p12 = sub.add_parser("fig12", help="forwarding rate vs offered load")
     p12.add_argument("--packets", type=int, default=10_000)
     p12.set_defaults(fn=_cmd_fig12)
+
+    psw = sub.add_parser(
+        "sweep",
+        help="sharded, resumable sweep over a shared cache "
+             "(repro.eval.service)")
+    psw.add_argument("--attack",
+                     choices=("legacy", "request", "colluder"),
+                     default="legacy",
+                     help="flood class for the grid (default: legacy)")
+    psw.add_argument("--schemes", type=_parse_schemes, default=list(SCHEMES),
+                     help=f"comma-separated subset of {','.join(SCHEMES)}")
+    psw.add_argument("--sweep", type=_parse_sweep, default=list(DEFAULT_SWEEP),
+                     help="comma-separated attacker counts")
+    psw.add_argument("--duration", type=float, default=15.0,
+                     help="simulated seconds per point")
+    psw.add_argument("--seed", type=int, default=1)
+    psw.add_argument("--seeds", type=_positive_int, default=1, metavar="N",
+                     help="seed replications per point (sharded with "
+                          "everything else)")
+    psw.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
+                     help="worker processes within this shard "
+                          "(default: all cores)")
+    psw.add_argument("--shard", type=_parse_shard_arg, default=None,
+                     metavar="I/N",
+                     help="run only this deterministic slice of the grid "
+                          "(e.g. 0/2 and 1/2 in two terminals); "
+                          "default: the whole grid")
+    psw.add_argument("--retries", type=_nonnegative_int, default=2,
+                     metavar="N",
+                     help="extra attempts per spec after a worker failure "
+                          "(default: 2)")
+    psw.add_argument("--manifest", default=None, metavar="PATH",
+                     help="resume manifest (default: "
+                          "<cache-dir>/manifests/sweep-<grid>.jsonl)")
+    psw.add_argument("--progress-log", default=None, metavar="PATH",
+                     help="append JSONL progress events (start/done/"
+                          "retry/failed, with per-spec timing) to PATH")
+    psw.add_argument("--merge", action="store_true",
+                     help="after running the shard, reassemble the whole "
+                          "grid from the cache and print the SweepResult "
+                          "(implied when unsharded)")
+    psw.add_argument("--json", action="store_true",
+                     help="emit the merged result as JSON")
+    psw.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="shared cache directory all shards read/write "
+                          "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    psw.add_argument("--metrics", action="store_true",
+                     help="record deterministic metric time series")
+    psw.add_argument("--metrics-interval", type=float, default=0.5,
+                     metavar="SEC")
+    psw.set_defaults(fn=_cmd_sweep)
 
     pr = sub.add_parser("report", help="run everything, write one markdown report")
     pr.add_argument("--schemes", type=_parse_schemes, default=list(SCHEMES))

@@ -8,8 +8,12 @@
 * :mod:`repro.eval.results` — :class:`RunResult` / :class:`PointResult` /
   :class:`SweepResult`, JSON-serializable with mean/stdev/95%-CI
   aggregation across seed replications.
-* :mod:`repro.eval.cache` — content-addressed on-disk cache keyed by
-  spec hash, making warm re-runs near-instant.
+* :mod:`repro.eval.cache` — content-addressed result cache keyed by
+  spec hash, with pluggable storage backends (local directory, layered
+  local-over-shared), making warm re-runs near-instant.
+* :mod:`repro.eval.service` — the sharded, resumable sweep service:
+  deterministic grid partitioning (``--shard i/N``), an append-only
+  resume manifest, per-spec retries, and a JSONL progress stream.
 * :mod:`repro.eval.procbench` — Table 1 and Figure 12 (packet-processing
   cost and forwarding-rate micro-benchmarks of the TVA router pipeline).
 * :mod:`repro.eval.dynamics` — the network-dynamics experiment: recovery

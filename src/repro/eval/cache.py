@@ -1,15 +1,26 @@
-"""Content-addressed on-disk cache for simulation results.
+"""Content-addressed result cache with pluggable storage backends.
 
 A :class:`~repro.eval.runner.ScenarioSpec` hashes to a stable hex key
 (spec fields + a code-version salt); the cache stores the corresponding
-:class:`~repro.eval.results.RunResult` as JSON under
-``<cache_dir>/<key[:2]>/<key>.json``.  Because the simulator is
-deterministic given a spec, a warm cache makes re-running a figure or
-regenerating a report near-instant.
+:class:`~repro.eval.results.RunResult` as JSON.  Because the simulator
+is deterministic given a spec, a warm cache makes re-running a figure,
+regenerating a report, or resuming an interrupted sweep near-instant.
+
+Storage is a :class:`CacheBackend` — ``get``/``put``/``contains``/
+``iter_keys``/``clear`` over JSON payloads keyed by the spec hash:
+
+* :class:`DirectoryBackend` — the historical on-disk layout,
+  ``<dir>/<key[:2]>/<key>.json``, byte-compatible with every cache
+  directory written before backends existed;
+* :class:`LayeredBackend` — read-through/write-through composition of a
+  fast near backend (local disk) over a durable far backend (a shared
+  NFS/S3-style directory), the shape a sharded sweep service needs.
 
 The default directory is ``$REPRO_CACHE_DIR``, or ``~/.cache/repro``
 (``$XDG_CACHE_HOME`` honoured).  Corrupt or unreadable entries are
-treated as misses and overwritten, never raised.
+treated as misses and overwritten, never raised; an unwritable or
+unserializable ``put`` degrades to no caching rather than losing the
+computed result.
 """
 
 from __future__ import annotations
@@ -18,7 +29,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Iterator, Optional, Protocol, runtime_checkable
 
 from .results import RunResult
 
@@ -32,26 +43,207 @@ def default_cache_dir() -> Path:
     return base / "repro"
 
 
-class ResultCache:
-    """Get/put :class:`RunResult` objects keyed by spec hash."""
+@runtime_checkable
+class CacheBackend(Protocol):
+    """Storage contract behind :class:`ResultCache`.
 
-    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
-        self.directory = Path(directory) if directory else default_cache_dir()
+    Implementations store JSON-serializable dict payloads under hex
+    keys.  All methods are best-effort: backends must never raise for
+    missing, corrupt, or unwritable entries — ``get`` returns ``None``,
+    ``put`` returns ``False``.
+    """
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The payload stored under ``key``, or ``None`` if absent/corrupt."""
+        ...
+
+    def put(self, key: str, payload: Dict) -> bool:
+        """Store ``payload`` under ``key``; ``True`` if it was persisted."""
+        ...
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists under ``key`` (no payload validation)."""
+        ...
+
+    def iter_keys(self) -> Iterator[str]:
+        """Every stored key, in sorted order."""
+        ...
+
+    def clear(self) -> int:
+        """Delete every entry (and stale temp files); returns entries removed."""
+        ...
+
+
+def _check_key(key: str) -> str:
+    if not key:
+        raise ValueError("cache key must be non-empty")
+    return key
+
+
+class DirectoryBackend:
+    """The historical on-disk layout: ``<dir>/<key[:2]>/<key>.json``.
+
+    Writes are atomic (temp file + ``os.replace``): a concurrent reader
+    sees the old entry or the new one, never a torn write — which also
+    makes one directory safe to share between sweep shards on the same
+    filesystem.
+    """
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, key: str) -> Path:
+        _check_key(key)
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def put(self, key: str, payload: Dict) -> bool:
+        path = self.path_for(key)
+        tmp = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: write to a temp file in the same shard
+            # directory, then rename over the final name.
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+            tmp = None  # published; nothing to clean up
+            return True
+        except (OSError, TypeError, ValueError):
+            # OSError: unwritable cache; TypeError/ValueError: payload
+            # not JSON-serializable.  Both degrade to "not cached".
+            return False
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def iter_keys(self) -> Iterator[str]:
+        if not self.directory.exists():
+            return
+        for path in sorted(self.directory.glob("*/*.json")):
+            yield path.stem
+
+    def clear(self) -> int:
+        """Delete every entry, stale ``.tmp`` files from interrupted
+        writes, and the then-empty two-hex shard directories."""
+        removed = 0
+        if not self.directory.exists():
+            return 0
+        for path in sorted(self.directory.glob("*/*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in sorted(self.directory.glob("*/*.tmp")):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        for shard in sorted(self.directory.iterdir()):
+            if shard.is_dir() and not any(shard.iterdir()):
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+
+class LayeredBackend:
+    """Read-through/write-through composition: ``near`` over ``far``.
+
+    ``get`` consults the fast ``near`` backend first and falls back to
+    ``far``, populating ``near`` on the way back; ``put`` writes both.
+    The intended shape: ``near`` is a process-local directory, ``far``
+    a shared one (NFS mount, synced bucket) that several sweep shards
+    read and write through the same interface.
+    """
+
+    def __init__(self, near: CacheBackend, far: CacheBackend) -> None:
+        self.near = near
+        self.far = far
+
+    def get(self, key: str) -> Optional[Dict]:
+        payload = self.near.get(key)
+        if payload is not None:
+            return payload
+        payload = self.far.get(key)
+        if payload is not None:
+            self.near.put(key, payload)  # warm the near tier
+        return payload
+
+    def put(self, key: str, payload: Dict) -> bool:
+        near_ok = self.near.put(key, payload)
+        far_ok = self.far.put(key, payload)
+        return near_ok or far_ok
+
+    def contains(self, key: str) -> bool:
+        return self.near.contains(key) or self.far.contains(key)
+
+    def iter_keys(self) -> Iterator[str]:
+        seen = sorted(set(self.near.iter_keys()) | set(self.far.iter_keys()))
+        return iter(seen)
+
+    def clear(self) -> int:
+        return self.near.clear() + self.far.clear()
+
+
+class ResultCache:
+    """Get/put :class:`RunResult` objects keyed by spec hash.
+
+    ``directory`` selects the historical single-directory layout;
+    ``backend`` plugs in any :class:`CacheBackend` instead (pass one or
+    the other, not both).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        backend: Optional[CacheBackend] = None,
+    ) -> None:
+        if backend is not None and directory is not None:
+            raise ValueError("pass either a directory or a backend, not both")
+        self.backend: CacheBackend = backend or DirectoryBackend(
+            directory if directory else default_cache_dir()
+        )
         self.hits = 0
         self.misses = 0
 
+    @property
+    def directory(self) -> Optional[Path]:
+        """The on-disk root for directory-backed caches, else ``None``."""
+        return getattr(self.backend, "directory", None)
+
     def path_for(self, key: str) -> Path:
-        if not key:
-            raise ValueError("cache key must be non-empty")
-        return self.directory / key[:2] / f"{key}.json"
+        path_for = getattr(self.backend, "path_for", None)
+        if path_for is None:
+            raise TypeError(
+                f"{type(self.backend).__name__} has no on-disk entry paths"
+            )
+        return path_for(key)
 
     def get(self, key: str) -> Optional[RunResult]:
-        path = self.path_for(key)
+        data = self.backend.get(_check_key(key))
+        if data is None:
+            self.misses += 1
+            return None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
             result = RunResult.from_dict(data)
-        except (OSError, ValueError, TypeError, KeyError):
+        except (ValueError, TypeError, KeyError):
             self.misses += 1
             return None
         if result.spec_key != key:
@@ -61,40 +253,27 @@ class ResultCache:
         self.hits += 1
         return result
 
-    def put(self, key: str, result: RunResult) -> None:
-        """Store a result; best-effort — an unwritable cache directory
-        degrades to no caching rather than losing the computed result."""
-        path = self.path_for(key)
-        tmp = None
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # Atomic publish: a concurrent reader sees the old file or
-            # the new one, never a torn write.
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(result.to_dict(), handle)
-            os.replace(tmp, path)
-        except OSError:
-            if tmp is not None:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
+    def put(self, key: str, result: RunResult) -> bool:
+        """Store a result; best-effort — an unwritable cache directory or
+        unserializable payload degrades to no caching rather than losing
+        the computed result."""
+        return self.backend.put(_check_key(key), result.to_dict())
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` has a stored entry (no payload validation)."""
+        return self.backend.contains(_check_key(key))
+
+    def iter_keys(self) -> Iterator[str]:
+        """Every cached spec key, in sorted order."""
+        return self.backend.iter_keys()
 
     def clear(self) -> int:
-        """Delete every cached entry; returns how many were removed."""
-        removed = 0
-        if not self.directory.exists():
-            return 0
-        for path in self.directory.glob("*/*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        """Delete every cached entry (plus stale temp files) and reset
+        the hit/miss statistics; returns how many entries were removed."""
+        removed = self.backend.clear()
+        self.hits = 0
+        self.misses = 0
         return removed
 
     def __len__(self) -> int:
-        if not self.directory.exists():
-            return 0
-        return sum(1 for _ in self.directory.glob("*/*.json"))
+        return sum(1 for _ in self.backend.iter_keys())

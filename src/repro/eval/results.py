@@ -193,6 +193,76 @@ class PointResult:
 
 
 @dataclass
+class ShardReport:
+    """What one sharded sweep invocation did (see ``repro.eval.service``).
+
+    Unlike :class:`SweepResult`, this records *execution* facts — how a
+    shard's slice of the grid was covered this invocation — so it is
+    deliberately not part of any bit-identical payload: merged sweep
+    JSON comes from :meth:`SweepResult.to_json` alone.
+    """
+
+    shard: int = 0
+    of: int = 1
+    total: int = 0        #: specs in the full (seed-expanded) grid
+    assigned: int = 0     #: specs in this shard's deterministic slice
+    completed: int = 0    #: specs simulated by this invocation
+    cached: int = 0       #: specs served from the shared cache (resume skips)
+    failures: List[Dict] = field(default_factory=list)
+    results: List[Optional[RunResult]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"shard {self.shard}/{self.of}: {self.assigned} of "
+            f"{self.total} spec(s) assigned — "
+            f"{self.completed} run, {self.cached} from cache, "
+            f"{len(self.failures)} failed",
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  FAILED {failure.get('scheme')}/{failure.get('attack')}"
+                f"/k={failure.get('n_attackers')}/seed={failure.get('seed')}"
+                f" after {failure.get('attempts')} attempt(s): "
+                f"{failure.get('error')}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "shard": self.shard,
+            "of": self.of,
+            "total": self.total,
+            "assigned": self.assigned,
+            "completed": self.completed,
+            "cached": self.cached,
+            "failures": [dict(f) for f in self.failures],
+            "results": [
+                None if r is None else r.to_dict() for r in self.results
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ShardReport":
+        return cls(
+            shard=data.get("shard", 0),
+            of=data.get("of", 1),
+            total=data.get("total", 0),
+            assigned=data.get("assigned", 0),
+            completed=data.get("completed", 0),
+            cached=data.get("cached", 0),
+            failures=[dict(f) for f in data.get("failures", [])],
+            results=[
+                None if r is None else RunResult.from_dict(r)
+                for r in data.get("results", [])
+            ],
+        )
+
+
+@dataclass
 class SweepResult:
     """A whole figure sweep: ordered points plus how they were produced."""
 

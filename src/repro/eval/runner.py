@@ -29,7 +29,7 @@ import json
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field, replace
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .. import __version__
 from ..faults import FaultSchedule, coerce_schedule
@@ -334,6 +334,62 @@ def build_fig11_spec(
 # The runner
 # ---------------------------------------------------------------------------
 
+@dataclass(frozen=True)
+class SweepEvent:
+    """One step in a sweep's execution, streamed to ``on_event``.
+
+    ``kind`` is ``"cached"`` (served from the result cache), ``"start"``
+    (attempt submitted), ``"done"`` (attempt succeeded, result cached),
+    ``"retry"`` (attempt failed, another follows), or ``"failed"``
+    (attempts exhausted).  ``attempt`` counts from 1 (0 for cache hits);
+    ``error`` carries the ``repr`` of the exception for retry/failed.
+    """
+
+    kind: str
+    spec: ScenarioSpec
+    attempt: int = 0
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SpecFailure:
+    """One spec that exhausted its attempts, with the last error."""
+
+    spec: ScenarioSpec
+    attempts: int
+    error: str
+
+
+class SweepFailure(RuntimeError):
+    """Raised after a sweep finishes with at least one failed spec.
+
+    Unlike a worker exception propagating mid-sweep, this is raised only
+    once every other spec has completed (and been cached), so no sibling
+    work is discarded: ``results`` holds the completed runs in input
+    order (``None`` at failed positions) and ``failures`` lists each
+    failed spec with its attempt count and last error.
+    """
+
+    def __init__(
+        self,
+        failures: Sequence[SpecFailure],
+        results: Sequence[Optional[RunResult]],
+    ) -> None:
+        self.failures = list(failures)
+        self.results = list(results)
+        names = ", ".join(
+            f"{f.spec.scheme}/{f.spec.attack}/k={f.spec.n_attackers}"
+            f"/seed={f.spec.seed}" for f in self.failures[:3]
+        )
+        more = len(self.failures) - 3
+        if more > 0:
+            names += f" (+{more} more)"
+        super().__init__(
+            f"{len(self.failures)} of {len(self.results)} spec(s) failed "
+            f"after retries: {names}; last error: {self.failures[0].error}"
+        )
+
+
 class SweepRunner:
     """Execute scenario specs: cached, multi-process, multi-seed.
 
@@ -342,8 +398,16 @@ class SweepRunner:
     ``ProcessPoolExecutor``; the simulator seeds all randomness from the
     spec, so both paths produce bit-identical results.
 
+    A worker exception never aborts the sweep: the spec is retried up to
+    ``retries`` more times (in a fresh pool if the old one broke), every
+    sibling spec still completes and is cached, and only then is a
+    :class:`SweepFailure` raised naming the specs that never succeeded.
+
     ``progress`` (if given) is called as ``progress(spec, cached)``
     after each spec completes — the CLI uses it for its stderr ticker.
+    ``on_event`` (if given) receives a :class:`SweepEvent` for every
+    cache hit, attempt start, completion, retry, and failure — the
+    sweep service's manifest and progress log hang off this stream.
     """
 
     def __init__(
@@ -351,39 +415,124 @@ class SweepRunner:
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         progress: Optional[Callable[[ScenarioSpec, bool], None]] = None,
+        retries: int = 1,
+        on_event: Optional[Callable[[SweepEvent], None]] = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.jobs = jobs or (os.cpu_count() or 1)
         self.cache = cache
         self.progress = progress
+        self.retries = retries
+        self.on_event = on_event
 
     def run(self, specs: Sequence[ScenarioSpec]) -> List[RunResult]:
-        """Run every spec, preserving input order in the result list."""
+        """Run every spec, preserving input order in the result list.
+
+        Raises :class:`SweepFailure` — *after* every runnable spec has
+        completed and been cached — if any spec failed all its attempts.
+        """
         results: List[Optional[RunResult]] = [None] * len(specs)
         pending: List[int] = []
         for i, spec in enumerate(specs):
             hit = self.cache.get(spec.key()) if self.cache else None
             if hit is not None:
                 results[i] = hit
+                self._emit("cached", spec)
                 if self.progress:
                     self.progress(spec, True)
             else:
                 pending.append(i)
 
+        failures: Dict[int, SpecFailure] = {}
         if pending and (self.jobs == 1 or len(pending) == 1):
             for i in pending:
-                results[i] = self._finish(specs[i], run_spec(specs[i]))
+                self._run_serial(specs[i], i, results, failures)
         elif pending:
-            workers = min(self.jobs, len(pending))
+            self._run_pool(specs, pending, results, failures)
+        if failures:
+            raise SweepFailure(
+                [failures[i] for i in sorted(failures)], results
+            )
+        return results  # type: ignore[return-value]
+
+    def _run_serial(
+        self,
+        spec: ScenarioSpec,
+        index: int,
+        results: List[Optional[RunResult]],
+        failures: Dict[int, SpecFailure],
+    ) -> None:
+        for attempt in range(1, self.retries + 2):
+            self._emit("start", spec, attempt)
+            try:
+                result = run_spec(spec)
+            except Exception as exc:  # per-spec isolation, not control flow
+                if attempt <= self.retries:
+                    self._emit("retry", spec, attempt, repr(exc))
+                    continue
+                failures[index] = SpecFailure(spec, attempt, repr(exc))
+                self._emit("failed", spec, attempt, repr(exc))
+                return
+            results[index] = self._finish(spec, result)
+            self._emit("done", spec, attempt)
+            return
+
+    def _run_pool(
+        self,
+        specs: Sequence[ScenarioSpec],
+        pending: Sequence[int],
+        results: List[Optional[RunResult]],
+        failures: Dict[int, SpecFailure],
+    ) -> None:
+        """Fan ``pending`` out over a process pool, retrying failures.
+
+        Each round submits the still-pending specs to a fresh pool; a
+        crashed worker (``BrokenProcessPool``) therefore poisons at most
+        one round, and every completed sibling was already cached by
+        ``_finish`` before the next round starts.
+        """
+        attempts = {i: 0 for i in pending}
+        remaining = list(pending)
+        while remaining:
+            workers = min(self.jobs, len(remaining))
+            retry_round: List[int] = []
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(run_spec, specs[i]): i for i in pending
-                }
+                futures = {}
+                for i in remaining:
+                    attempts[i] += 1
+                    self._emit("start", specs[i], attempts[i])
+                    futures[pool.submit(run_spec, specs[i])] = i
                 for future in as_completed(futures):
                     i = futures[future]
-                    results[i] = self._finish(specs[i], future.result())
-        return results  # type: ignore[return-value]
+                    spec = specs[i]
+                    try:
+                        result = future.result()
+                    except Exception as exc:  # worker died or raised
+                        if attempts[i] <= self.retries:
+                            self._emit("retry", spec, attempts[i], repr(exc))
+                            retry_round.append(i)
+                        else:
+                            failures[i] = SpecFailure(
+                                spec, attempts[i], repr(exc)
+                            )
+                            self._emit("failed", spec, attempts[i], repr(exc))
+                        continue
+                    results[i] = self._finish(spec, result)
+                    self._emit("done", spec, attempts[i])
+            remaining = sorted(retry_round)
+
+    def _emit(
+        self,
+        kind: str,
+        spec: ScenarioSpec,
+        attempt: int = 0,
+        error: Optional[str] = None,
+    ) -> None:
+        if self.on_event is not None:
+            self.on_event(SweepEvent(kind, spec, attempt, error))
 
     def _finish(self, spec: ScenarioSpec, result: RunResult) -> RunResult:
         if self.cache is not None:

@@ -1,0 +1,169 @@
+"""Tests for the pluggable cache backends and the cache bugfix batch:
+``put`` must survive unserializable payloads without leaking temp files,
+``clear`` must remove stale temp files/empty shard dirs and reset stats,
+and the layered backend must read/write through both tiers."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    DirectoryBackend,
+    LayeredBackend,
+    ResultCache,
+    RunResult,
+)
+
+
+def result_for(key: str, **overrides) -> RunResult:
+    fields = dict(scheme="tva", attack="legacy", n_attackers=1, seed=1,
+                  fraction_completed=1.0, avg_transfer_time=0.3,
+                  transfers_attempted=10, transfers_completed=10,
+                  spec_key=key)
+    fields.update(overrides)
+    return RunResult(**fields)
+
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+
+
+class TestDirectoryBackend:
+    def test_layout_is_byte_compatible(self, tmp_path):
+        """The backend writes exactly the pre-backend on-disk format."""
+        cache = ResultCache(tmp_path)
+        result = result_for(KEY_A)
+        assert cache.put(KEY_A, result)
+        path = tmp_path / KEY_A[:2] / f"{KEY_A}.json"
+        assert path == cache.path_for(KEY_A)
+        assert path.read_text(encoding="utf-8") == json.dumps(
+            result.to_dict())
+
+    def test_get_put_contains_iter(self, tmp_path):
+        backend = DirectoryBackend(tmp_path)
+        assert backend.get(KEY_A) is None
+        assert not backend.contains(KEY_A)
+        assert backend.put(KEY_A, {"x": 1})
+        assert backend.put(KEY_B, {"x": 2})
+        assert backend.contains(KEY_A)
+        assert backend.get(KEY_A) == {"x": 1}
+        assert list(backend.iter_keys()) == sorted([KEY_A, KEY_B])
+
+    def test_non_dict_payload_is_a_miss(self, tmp_path):
+        backend = DirectoryBackend(tmp_path)
+        path = backend.path_for(KEY_A)
+        path.parent.mkdir(parents=True)
+        path.write_text("[1, 2]")
+        assert backend.get(KEY_A) is None
+
+    def test_put_unserializable_does_not_raise_or_leak_tmp(self, tmp_path):
+        """Regression: a TypeError from json.dump used to escape the
+        best-effort contract *and* leave the .tmp file behind."""
+        cache = ResultCache(tmp_path)
+        poisoned = result_for(KEY_A, metrics={"finals": {"bad": {1, 2}}})
+        assert cache.put(KEY_A, poisoned) is False  # did not raise
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert len(cache) == 0
+
+    def test_put_unserializable_keeps_existing_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        good = result_for(KEY_A)
+        cache.put(KEY_A, good)
+        cache.put(KEY_A, result_for(KEY_A, metrics={"finals": {"s": {1}}}))
+        assert cache.get(KEY_A) == good
+
+    def test_clear_removes_stale_tmp_and_empty_shard_dirs(self, tmp_path):
+        """Regression: clear() used to leave interrupted-write .tmp files
+        and empty two-hex shard directories behind."""
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, result_for(KEY_A))
+        # Simulate an interrupted write and an already-emptied shard dir.
+        (tmp_path / KEY_A[:2] / "tmpxyz.tmp").write_text("{torn")
+        (tmp_path / "cc").mkdir()
+        assert cache.clear() == 1
+        assert list(tmp_path.rglob("*.tmp")) == []
+        assert list(tmp_path.rglob("*.json")) == []
+        assert not (tmp_path / KEY_A[:2]).exists()
+        assert not (tmp_path / "cc").exists()
+
+    def test_clear_resets_hit_miss_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY_A, result_for(KEY_A))
+        assert cache.get(KEY_A) is not None
+        assert cache.get(KEY_B) is None
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_clear_missing_directory(self, tmp_path):
+        assert ResultCache(tmp_path / "nope").clear() == 0
+
+
+class TestLayeredBackend:
+    def make(self, tmp_path):
+        near = DirectoryBackend(tmp_path / "near")
+        far = DirectoryBackend(tmp_path / "far")
+        return near, far, LayeredBackend(near, far)
+
+    def test_put_writes_both_tiers(self, tmp_path):
+        near, far, layered = self.make(tmp_path)
+        assert layered.put(KEY_A, {"x": 1})
+        assert near.get(KEY_A) == {"x": 1}
+        assert far.get(KEY_A) == {"x": 1}
+
+    def test_get_reads_through_and_warms_near(self, tmp_path):
+        near, far, layered = self.make(tmp_path)
+        far.put(KEY_A, {"x": 1})
+        assert not near.contains(KEY_A)
+        assert layered.get(KEY_A) == {"x": 1}
+        assert near.get(KEY_A) == {"x": 1}  # populated on the way back
+
+    def test_near_hit_skips_far(self, tmp_path):
+        near, far, layered = self.make(tmp_path)
+        near.put(KEY_A, {"x": "near"})
+        far.put(KEY_A, {"x": "far"})
+        assert layered.get(KEY_A) == {"x": "near"}
+
+    def test_contains_and_iter_keys_union(self, tmp_path):
+        near, far, layered = self.make(tmp_path)
+        near.put(KEY_B, {"x": 1})
+        far.put(KEY_A, {"x": 2})
+        assert layered.contains(KEY_A) and layered.contains(KEY_B)
+        assert list(layered.iter_keys()) == sorted([KEY_A, KEY_B])
+
+    def test_clear_clears_both(self, tmp_path):
+        near, far, layered = self.make(tmp_path)
+        layered.put(KEY_A, {"x": 1})
+        assert layered.clear() == 2
+        assert not layered.contains(KEY_A)
+
+    def test_result_cache_over_layered_backend(self, tmp_path):
+        near, far, _ = self.make(tmp_path)
+        cache = ResultCache(backend=LayeredBackend(near, far))
+        result = result_for(KEY_A)
+        cache.put(KEY_A, result)
+        # A second shard sharing only the far tier sees the entry.
+        other = ResultCache(
+            backend=LayeredBackend(DirectoryBackend(tmp_path / "near2"), far))
+        assert other.get(KEY_A) == result
+        assert other.hits == 1
+
+    def test_layered_cache_has_no_entry_paths(self, tmp_path):
+        near, far, layered = self.make(tmp_path)
+        cache = ResultCache(backend=layered)
+        assert cache.directory is None
+        with pytest.raises(TypeError):
+            cache.path_for(KEY_A)
+
+
+class TestResultCacheConstruction:
+    def test_rejects_directory_and_backend_together(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, backend=DirectoryBackend(tmp_path))
+
+    def test_contains_and_iter_keys_delegate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not cache.contains(KEY_A)
+        cache.put(KEY_A, result_for(KEY_A))
+        assert cache.contains(KEY_A)
+        assert list(cache.iter_keys()) == [KEY_A]

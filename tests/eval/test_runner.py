@@ -171,6 +171,106 @@ class TestCache:
         assert cache.get(spec.key()) == fresh
 
 
+class TestFaultTolerance:
+    """Regression: one worker exception used to abort the whole sweep,
+    discarding every completed-but-uncached sibling result.  Now each
+    spec is retried up to the cap, siblings always complete and cache,
+    and a SweepFailure naming the losers is raised only at the end."""
+
+    def specs_with_one_bad(self):
+        good = build_flood_specs("legacy", ("internet",), (1, 2), FAST)
+        # An unregistered scheme raises ValueError inside run_spec — in
+        # the worker process for jobs>1, so it exercises the pool path.
+        bad = dataclasses.replace(good[0], scheme="bogus")
+        return [good[0], bad, good[1]]
+
+    def assert_siblings_survive(self, jobs, tmp_path):
+        from repro.eval.runner import SweepFailure
+
+        cache = ResultCache(tmp_path)
+        specs = self.specs_with_one_bad()
+        runner = SweepRunner(jobs=jobs, cache=cache, retries=1)
+        with pytest.raises(SweepFailure) as excinfo:
+            runner.run(specs)
+        failure = excinfo.value
+        # Both good siblings completed, in input order, and were cached.
+        assert failure.results[0] is not None
+        assert failure.results[1] is None
+        assert failure.results[2] is not None
+        assert cache.contains(specs[0].key())
+        assert cache.contains(specs[2].key())
+        (spec_failure,) = failure.failures
+        assert spec_failure.spec == specs[1]
+        assert spec_failure.attempts == 2  # first try + one retry
+        assert "bogus" in spec_failure.error
+
+    def test_serial_failure_does_not_abort_siblings(self, tmp_path):
+        self.assert_siblings_survive(1, tmp_path)
+
+    def test_pool_failure_does_not_abort_siblings(self, tmp_path):
+        self.assert_siblings_survive(4, tmp_path)
+
+    def test_retries_zero_fails_after_one_attempt(self):
+        from repro.eval.runner import SweepFailure
+
+        specs = [dataclasses.replace(
+            ScenarioSpec("tva", "legacy", 1, config=FAST), scheme="bogus")]
+        with pytest.raises(SweepFailure) as excinfo:
+            SweepRunner(jobs=1, retries=0).run(specs)
+        assert excinfo.value.failures[0].attempts == 1
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=1, retries=-1)
+
+    def test_event_stream_success_and_cache_hit(self, tmp_path):
+        events = []
+        cache = ResultCache(tmp_path)
+        specs = build_flood_specs("legacy", ("internet",), (1,), FAST)
+        runner = SweepRunner(jobs=1, cache=cache,
+                             on_event=lambda e: events.append(e))
+        runner.run(specs)
+        assert [e.kind for e in events] == ["start", "done"]
+        runner.run(specs)
+        assert [e.kind for e in events] == ["start", "done", "cached"]
+
+    def test_event_stream_retry_then_failed(self):
+        from repro.eval.runner import SweepFailure
+
+        events = []
+        specs = [dataclasses.replace(
+            ScenarioSpec("tva", "legacy", 1, config=FAST), scheme="bogus")]
+        runner = SweepRunner(jobs=1, retries=1,
+                             on_event=lambda e: events.append(e))
+        with pytest.raises(SweepFailure):
+            runner.run(specs)
+        assert [e.kind for e in events] == [
+            "start", "retry", "start", "failed"]
+        assert events[1].attempt == 1
+        assert events[3].attempt == 2
+        assert events[3].error and "bogus" in events[3].error
+
+    def test_transient_failure_recovers_on_retry(self, monkeypatch):
+        """A spec that fails once then succeeds (a crashed worker's
+        retry) completes the sweep with no failure raised."""
+        from repro.eval import runner as runner_module
+
+        real_run_spec = runner_module.run_spec
+        spec = ScenarioSpec("internet", "legacy", 1, config=FAST)
+        calls = {"n": 0}
+
+        def flaky(s):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("simulated worker crash")
+            return real_run_spec(s)
+
+        monkeypatch.setattr(runner_module, "run_spec", flaky)
+        (result,) = SweepRunner(jobs=1, retries=1).run([spec])
+        assert calls["n"] == 2
+        assert result == real_run_spec(spec)
+
+
 class TestSweepRunner:
     def test_rejects_bad_jobs(self):
         with pytest.raises(ValueError):

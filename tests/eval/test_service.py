@@ -1,0 +1,340 @@
+"""Tests for the sharded, resumable sweep service (repro.eval.service):
+deterministic partitioning, the crash-safe manifest, resume-after-failure
+byte-identity, progress streaming, and the `repro sweep` CLI."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (
+    ExperimentConfig,
+    ResultCache,
+    ScenarioSpec,
+    SweepManifest,
+    SweepRunner,
+    SweepService,
+    build_flood_specs,
+    default_manifest_path,
+    parse_shard,
+    shard_specs,
+)
+from repro.eval import service as service_module
+
+FAST = ExperimentConfig(duration=3.0)
+
+
+def fast_grid(schemes=("internet",), sweep=(1, 2, 3, 4)):
+    return build_flood_specs("legacy", schemes, sweep, FAST)
+
+
+class TestParseShard:
+    def test_parses(self):
+        assert parse_shard("0/2") == (0, 2)
+        assert parse_shard("3/4") == (3, 4)
+
+    @pytest.mark.parametrize("text", ["2/2", "-1/2", "0/0", "1", "a/b",
+                                      "1/2/3", ""])
+    def test_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_shard(text)
+
+
+class TestShardSpecs:
+    def test_shards_partition_the_grid(self):
+        specs = fast_grid(sweep=tuple(range(1, 9)))
+        shards = [shard_specs(specs, i, 3) for i in range(3)]
+        keys = sorted(k for shard in shards for k in
+                      (s.key() for s in shard))
+        assert keys == sorted(s.key() for s in specs)  # disjoint cover
+
+    def test_single_shard_is_identity(self):
+        specs = fast_grid()
+        assert shard_specs(specs, 0, 1) == list(specs)
+
+    def test_partition_is_deterministic_and_order_independent(self):
+        specs = fast_grid(sweep=tuple(range(1, 9)))
+        forward = {s.key() for s in shard_specs(specs, 1, 3)}
+        backward = {s.key() for s in shard_specs(list(reversed(specs)), 1, 3)}
+        assert forward == backward
+
+    def test_rejects_bad_selectors(self):
+        specs = fast_grid()
+        with pytest.raises(ValueError):
+            shard_specs(specs, 2, 2)
+        with pytest.raises(ValueError):
+            shard_specs(specs, 0, 0)
+
+
+class TestManifest:
+    def test_record_and_statuses_last_wins(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with SweepManifest(path) as manifest:
+            manifest.record("k1", "failed", error="boom")
+            manifest.record("k2", "done", elapsed=0.5)
+            manifest.record("k1", "done", elapsed=1.0)
+        statuses = SweepManifest(path).statuses()
+        assert statuses["k1"]["status"] == "done"
+        assert statuses["k2"]["elapsed"] == 0.5
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert SweepManifest(tmp_path / "nope.jsonl").statuses() == {}
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        """A SIGKILL mid-append must not make the manifest unloadable."""
+        path = tmp_path / "m.jsonl"
+        with SweepManifest(path) as manifest:
+            manifest.record("k1", "done")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "k2", "stat')  # torn write
+        statuses = SweepManifest(path).statuses()
+        assert set(statuses) == {"k1"}
+
+    def test_default_path_is_grid_stable(self, tmp_path):
+        specs = fast_grid()
+        a = default_manifest_path(tmp_path, specs)
+        b = default_manifest_path(tmp_path, list(reversed(specs)))
+        assert a == b  # order-independent fingerprint
+        other = default_manifest_path(tmp_path, specs[:-1])
+        assert a != other
+
+
+class TestSweepService:
+    def test_two_shards_cover_grid_with_zero_duplicates(self, tmp_path):
+        specs = fast_grid()
+        cache = ResultCache(tmp_path / "cache")
+        logs = [tmp_path / "s0.jsonl", tmp_path / "s1.jsonl"]
+        reports = []
+        for shard in (0, 1):
+            service = SweepService(cache, jobs=1,
+                                   progress_log=logs[shard])
+            reports.append(service.run_shard(specs, shard=shard, of=2))
+        assert all(r.ok for r in reports)
+        assert sum(r.assigned for r in reports) == len(specs)
+        assert sum(r.completed for r in reports) == len(specs)
+        # Zero duplicate simulation executions across the two shards.
+        done = [set(), set()]
+        for shard, log in enumerate(logs):
+            for line in log.read_text().splitlines():
+                record = json.loads(line)
+                if record["event"] == "done":
+                    done[shard].add(record["key"])
+        assert not done[0] & done[1]
+        assert len(done[0] | done[1]) == len(specs)
+
+    def test_merge_after_shards_is_pure_reassembly(self, tmp_path):
+        specs = fast_grid()
+        cache = ResultCache(tmp_path / "cache")
+        for shard in (0, 1):
+            SweepService(cache, jobs=1).run_shard(specs, shard=shard, of=2)
+        merge_cache = ResultCache(tmp_path / "cache")
+        merged = SweepService(merge_cache, jobs=1).merge(specs, title="t")
+        assert merge_cache.hits == len(specs)  # zero re-executions
+        reference = SweepRunner(jobs=1).run_points(specs, title="t")
+        assert merged.to_json() == reference.to_json()
+
+    def test_seed_replications_are_sharded_too(self, tmp_path):
+        specs = fast_grid(sweep=(1, 2))
+        cache = ResultCache(tmp_path / "cache")
+        reports = [
+            SweepService(cache, jobs=1).run_shard(
+                specs, shard=shard, of=2, seeds=2)
+            for shard in (0, 1)
+        ]
+        assert sum(r.assigned for r in reports) == len(specs) * 2
+        merged = SweepService(cache, jobs=1).merge(specs, seeds=2, title="t")
+        reference = SweepRunner(jobs=1).run_points(specs, seeds=2, title="t")
+        assert merged.to_json() == reference.to_json()
+
+    def test_rerun_is_served_from_cache(self, tmp_path):
+        specs = fast_grid(sweep=(1, 2))
+        cache = ResultCache(tmp_path / "cache")
+        service = SweepService(cache, jobs=1)
+        first = service.run_shard(specs)
+        assert (first.completed, first.cached) == (2, 0)
+        again = service.run_shard(specs)
+        assert (again.completed, again.cached) == (0, 2)
+
+    def test_manifest_records_every_spec(self, tmp_path):
+        specs = fast_grid(sweep=(1, 2))
+        cache = ResultCache(tmp_path / "cache")
+        SweepService(cache, jobs=1).run_shard(specs)
+        manifest = SweepManifest(
+            default_manifest_path(cache.directory, specs))
+        statuses = manifest.statuses()
+        assert set(statuses) == {s.key() for s in specs}
+        assert all(r["status"] == "done" for r in statuses.values())
+        assert all(r["elapsed"] >= 0 for r in statuses.values())
+
+    def test_requires_a_cache(self):
+        with pytest.raises(ValueError):
+            SweepService(None)
+
+    def test_progress_log_timing_and_kinds(self, tmp_path):
+        specs = fast_grid(sweep=(1,))
+        cache = ResultCache(tmp_path / "cache")
+        log = tmp_path / "progress.jsonl"
+        service = SweepService(cache, jobs=1, progress_log=log)
+        service.run_shard(specs)
+        service.run_shard(specs)  # warm: cached event
+        records = [json.loads(line)
+                   for line in log.read_text().splitlines()]
+        assert [r["event"] for r in records] == ["start", "done", "cached"]
+        assert records[1]["elapsed"] > 0
+        assert records[0]["scheme"] == "internet"
+
+
+class TestCrashResume:
+    """The acceptance bar: a sweep interrupted mid-grid resumes via the
+    manifest+cache, re-executes only the incomplete specs, and the final
+    SweepResult JSON is byte-identical to an uninterrupted run."""
+
+    def failing_run_spec(self, real, bad_keys, calls):
+        def wrapped(spec):
+            calls.append(spec.key())
+            if spec.key() in bad_keys:
+                raise OSError("simulated mid-grid crash")
+            return real(spec)
+        return wrapped
+
+    def test_interrupt_then_resume_is_byte_identical(self, tmp_path,
+                                                     monkeypatch):
+        from repro.eval import runner as runner_module
+
+        specs = fast_grid()
+        title = "crash-resume"
+
+        # Reference: uninterrupted --jobs 1 run into its own cache.
+        ref_cache = ResultCache(tmp_path / "ref-cache")
+        reference = SweepService(ref_cache, jobs=1).merge(
+            specs, title=title).to_json()
+
+        # Interrupted run: one spec crashes on every attempt.
+        cache = ResultCache(tmp_path / "cache")
+        bad = {specs[2].key()}
+        real = runner_module.run_spec
+        calls = []
+        monkeypatch.setattr(
+            runner_module, "run_spec",
+            self.failing_run_spec(real, bad, calls))
+        service = SweepService(cache, jobs=1, retries=1)
+        report = service.run_shard(specs)
+        assert not report.ok
+        assert report.completed == len(specs) - 1
+        (failure,) = report.failures
+        assert failure["key"] == specs[2].key()
+        assert failure["attempts"] == 2
+        manifest = SweepManifest(
+            default_manifest_path(cache.directory, specs))
+        assert manifest.statuses()[specs[2].key()]["status"] == "failed"
+
+        # Resume: the crash is gone; only the missing spec re-runs.
+        monkeypatch.setattr(
+            runner_module, "run_spec",
+            self.failing_run_spec(real, set(), calls))
+        calls.clear()
+        resumed = service.run_shard(specs)
+        assert resumed.ok
+        assert calls == [specs[2].key()]  # nothing else re-executed
+        assert (resumed.completed, resumed.cached) == (1, len(specs) - 1)
+        assert manifest.statuses()[specs[2].key()]["status"] == "done"
+
+        # The merged grid is byte-identical to the uninterrupted run.
+        merged = SweepService(cache, jobs=1).merge(
+            specs, title=title).to_json()
+        assert merged == reference
+
+
+class TestSweepCli:
+    def run_cli(self, args):
+        from repro.cli import main
+
+        return main(args)
+
+    def base_args(self, tmp_path, extra=()):
+        return ["sweep", "--schemes", "internet", "--sweep", "1,2",
+                "--duration", "3", "--cache-dir",
+                str(tmp_path / "cache")] + list(extra)
+
+    def test_sharded_runs_then_merge_matches_jobs1(self, tmp_path, capsys):
+        for shard in ("0/2", "1/2"):
+            rc = self.run_cli(self.base_args(
+                tmp_path, ["--shard", shard, "--jobs", "1"]))
+            assert rc == 0
+            capsys.readouterr()
+        rc = self.run_cli(self.base_args(
+            tmp_path, ["--jobs", "1", "--merge", "--json"]))
+        assert rc == 0
+        merged = capsys.readouterr().out
+        rc = self.run_cli(["sweep", "--schemes", "internet", "--sweep",
+                           "1,2", "--duration", "3", "--cache-dir",
+                           str(tmp_path / "fresh"), "--jobs", "1",
+                           "--json"])
+        assert rc == 0
+        assert capsys.readouterr().out == merged  # byte-identical
+
+    def test_shard_run_writes_manifest_and_progress_log(self, tmp_path,
+                                                        capsys):
+        log = tmp_path / "progress.jsonl"
+        rc = self.run_cli(self.base_args(
+            tmp_path, ["--shard", "0/2", "--jobs", "1",
+                       "--progress-log", str(log)]))
+        assert rc == 0
+        assert (tmp_path / "cache" / "manifests").exists()
+        assert log.exists()
+        err = capsys.readouterr().err
+        assert "shard 0/2" in err
+
+    def test_failed_spec_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        from repro.eval import runner as runner_module
+
+        def always_crash(spec):
+            raise OSError("boom")
+
+        monkeypatch.setattr(runner_module, "run_spec", always_crash)
+        rc = self.run_cli(self.base_args(
+            tmp_path, ["--jobs", "1", "--retries", "0"]))
+        assert rc == 1
+        assert "failed" in capsys.readouterr().err
+
+    def test_rejects_bad_shard_selector(self, tmp_path):
+        with pytest.raises(SystemExit):
+            self.run_cli(self.base_args(tmp_path, ["--shard", "2/2"]))
+
+
+class TestGridKey:
+    def test_order_independent(self):
+        specs = fast_grid()
+        assert (service_module.grid_key(specs)
+                == service_module.grid_key(list(reversed(specs))))
+
+    def test_distinct_grids_differ(self):
+        specs = fast_grid()
+        other = [dataclasses.replace(s, seed=s.seed + 1) for s in specs]
+        assert (service_module.grid_key(specs)
+                != service_module.grid_key(other))
+
+
+def test_spec_shard_stability_across_hash_seeds():
+    """Sharding is keyed by sha256 content hashes, so the partition must
+    be identical under different PYTHONHASHSEED values (subprocess)."""
+    import subprocess
+    import sys
+
+    code = (
+        "from repro.api import build_flood_specs, ExperimentConfig, "
+        "shard_specs\n"
+        "specs = build_flood_specs('legacy', ('internet', 'tva'), "
+        "(1, 2, 3), ExperimentConfig(duration=3.0))\n"
+        "print([s.n_attackers for s in shard_specs(specs, 0, 2)], "
+        "[s.scheme for s in shard_specs(specs, 0, 2)])\n"
+    )
+    outputs = []
+    for seed in ("1", "2"):
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONHASHSEED": seed, "PYTHONPATH": "src"},
+        )
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]
