@@ -25,7 +25,19 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 # -- scheme registry -------------------------------------------------------
-from .schemes import SCHEMES, build_scheme, scheme_names
+from .schemes import (
+    SCHEMES,
+    InternetKnobs,
+    NetFenceKnobs,
+    PushbackKnobs,
+    SchemeKnobs,
+    SiffKnobs,
+    TvaKnobs,
+    build_scheme,
+    knobs_for,
+    register_scheme,
+    scheme_names,
+)
 
 # -- static analysis (determinism & simulation safety) ---------------------
 from .lint import Finding, LintEngine
@@ -81,6 +93,7 @@ from .eval.dynamics import (
 from .eval.experiments import ExperimentConfig, run_flood_scenario
 from .eval.results import PointResult, RunResult, ShardReport, SweepResult
 from .eval.runner import (
+    FIG11_SCHEMES,
     ScenarioSpec,
     SpecFailure,
     SweepEvent,
@@ -100,6 +113,12 @@ from .eval.service import (
 )
 
 # -- building blocks for custom topologies (what examples/ use) ------------
+from .baselines import (
+    LegacyScheme,
+    NetFenceScheme,
+    PushbackScheme,
+    SiffScheme,
+)
 from .core import ServerPolicy, TvaScheme
 from .sim import (
     AggregateHost,
@@ -107,6 +126,7 @@ from .sim import (
     DropTailQueue,
     Dumbbell,
     Host,
+    LegacyDefaults,
     Link,
     LinkSpec,
     Network,
@@ -195,6 +215,14 @@ __all__ = [
     # registry
     "SCHEMES",
     "scheme_names",
+    "register_scheme",
+    "knobs_for",
+    "SchemeKnobs",
+    "TvaKnobs",
+    "SiffKnobs",
+    "PushbackKnobs",
+    "InternetKnobs",
+    "NetFenceKnobs",
     # static analysis
     "lint_paths",
     "LintEngine",
@@ -219,6 +247,7 @@ __all__ = [
     "run_flood_scenario",
     "build_flood_specs",
     "build_fig11_spec",
+    "FIG11_SCHEMES",
     # sharded sweep service
     "SweepService",
     "SweepManifest",
@@ -258,7 +287,12 @@ __all__ = [
     # building blocks
     "ServerPolicy",
     "TvaScheme",
+    "SiffScheme",
+    "PushbackScheme",
+    "LegacyScheme",
+    "NetFenceScheme",
     "SchemeFactory",
+    "LegacyDefaults",
     "Simulator",
     "TransferLog",
     "Dumbbell",

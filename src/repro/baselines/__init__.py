@@ -1,6 +1,17 @@
-"""The paper's comparison schemes: SIFF, pushback, and the legacy Internet."""
+"""The paper's comparison schemes: SIFF, pushback, NetFence, and the
+legacy Internet."""
 
 from .legacy import LegacyScheme
+from .netfence import (
+    FEEDBACK_EXPIRY,
+    NETFENCE_SECRET_PERIOD,
+    NF_CTL_PROTO,
+    NetFenceFeedback,
+    NetFenceHeader,
+    NetFenceHostShim,
+    NetFenceRouterProcessor,
+    NetFenceScheme,
+)
 from .pushback import PushbackProcessor, PushbackScheme
 from .siff import (
     SIFF_SECRET_PERIOD,
@@ -13,7 +24,15 @@ from .siff import (
 )
 
 __all__ = [
+    "FEEDBACK_EXPIRY",
     "LegacyScheme",
+    "NETFENCE_SECRET_PERIOD",
+    "NF_CTL_PROTO",
+    "NetFenceFeedback",
+    "NetFenceHeader",
+    "NetFenceHostShim",
+    "NetFenceRouterProcessor",
+    "NetFenceScheme",
     "PushbackProcessor",
     "PushbackScheme",
     "SIFF_SECRET_PERIOD",

@@ -2,17 +2,17 @@
 router changes.  "With the Internet, legitimate traffic and attack traffic
 are treated alike" (Section 5.1).
 
-:class:`LegacyScheme` is just the default :class:`SchemeFactory` under its
-experiment name; it exists so the four schemes of Figures 8-10 are all
-spelled the same way.
+:class:`LegacyScheme` is just :class:`~repro.sim.topology.LegacyDefaults`
+under its experiment name; it exists so the schemes of Figures 8-10 are
+all spelled the same way.
 """
 
 from __future__ import annotations
 
-from ..sim.topology import SchemeFactory
+from ..sim.topology import LegacyDefaults
 
 
-class LegacyScheme(SchemeFactory):
+class LegacyScheme(LegacyDefaults):
     """Plain IP forwarding with ns-2-style 50-packet DropTail queues."""
 
     name = "internet"

@@ -39,7 +39,7 @@ from ..sim.link import Link
 from ..sim.node import HostShim, Router, RouterProcessor
 from ..sim.packet import Packet
 from ..sim.queues import DropTailQueue, Qdisc, TokenBucket
-from ..sim.topology import Dumbbell, SchemeFactory
+from ..sim.topology import Dumbbell, LegacyDefaults
 
 
 class PushbackProcessor(RouterProcessor):
@@ -216,7 +216,7 @@ class PushbackProcessor(RouterProcessor):
             del self._filter_age[key]
 
 
-class PushbackScheme(SchemeFactory):
+class PushbackScheme(LegacyDefaults):
     """Factory wiring pushback into a topology: FIFO queues plus the
     aggregate-filtering processor on every router."""
 

@@ -31,7 +31,7 @@ from ..sim.link import Link
 from ..sim.node import HostShim, Router, RouterProcessor
 from ..sim.packet import Packet
 from ..sim.queues import DropTailQueue, PriorityScheduler, Qdisc
-from ..sim.topology import SchemeFactory
+from ..sim.topology import LegacyDefaults
 
 #: SIFF stamps 2 bits per router.  Short marks are one of SIFF's known
 #: weaknesses (the paper contrasts them with TVA's 64-bit capabilities):
@@ -263,7 +263,7 @@ def _is_verified_data(pkt: Packet) -> bool:
     return isinstance(pkt.shim, SiffData)
 
 
-class SiffScheme(SchemeFactory):
+class SiffScheme(LegacyDefaults):
     """Factory wiring SIFF into a topology."""
 
     name = "siff"

@@ -49,6 +49,7 @@ from .eval.procbench import (
     measure_processing_costs,
 )
 from .eval.runner import (
+    FIG11_SCHEMES,
     ScenarioSpec,
     SweepRunner,
     build_fig11_spec,
@@ -66,6 +67,20 @@ def _parse_schemes(value: str) -> List[str]:
                 f"unknown scheme {name!r}; choose from {', '.join(SCHEMES)}"
             )
     return names
+
+
+def _parse_scheme_opt(value: str):
+    """One ``--scheme-opt KEY=VALUE`` pair; VALUE is parsed as JSON when
+    possible (numbers, booleans, lists) and kept as a string otherwise."""
+    key, sep, raw = value.partition("=")
+    if not sep or not key.strip():
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=VALUE, got {value!r}")
+    try:
+        parsed = json.loads(raw)
+    except json.JSONDecodeError:
+        parsed = raw
+    return key.strip(), parsed
 
 
 def _parse_sweep(value: str) -> List[int]:
@@ -271,30 +286,38 @@ def _cmd_scenario(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.name:
-        try:
-            scenario = get_scenario(args.name)
-        except KeyError as exc:
-            print(f"error: {exc.args[0]}", file=sys.stderr)
-            return 2
-        spec = scenario.spec(scheme=args.scheme, seed=args.seed,
-                             duration=args.duration, metrics=args.metrics,
-                             metrics_interval=args.metrics_interval,
-                             faults=faults,
-                             regular_qdisc=args.regular_qdisc)
-        attack = scenario.attack
-        n_attackers = scenario.n_attackers
-    else:
-        duration = 15.0 if args.duration is None else args.duration
-        config = ExperimentConfig(duration=duration, seed=args.seed,
-                                  regular_qdisc=args.regular_qdisc)
-        spec = ScenarioSpec(scheme=args.scheme, attack=args.attack,
-                            n_attackers=args.attackers, seed=args.seed,
-                            config=config, metrics=args.metrics,
-                            metrics_interval=args.metrics_interval,
-                            faults=faults)
-        attack = args.attack
-        n_attackers = args.attackers
+    scheme_options = dict(args.scheme_opt or ())
+    try:
+        if args.name:
+            try:
+                scenario = get_scenario(args.name)
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+            spec = scenario.spec(scheme=args.scheme, seed=args.seed,
+                                 duration=args.duration, metrics=args.metrics,
+                                 metrics_interval=args.metrics_interval,
+                                 faults=faults,
+                                 scheme_options=scheme_options,
+                                 regular_qdisc=args.regular_qdisc)
+            attack = scenario.attack
+            n_attackers = scenario.n_attackers
+        else:
+            duration = 15.0 if args.duration is None else args.duration
+            config = ExperimentConfig(duration=duration, seed=args.seed,
+                                      regular_qdisc=args.regular_qdisc)
+            spec = ScenarioSpec(scheme=args.scheme, attack=args.attack,
+                                n_attackers=args.attackers, seed=args.seed,
+                                config=config, metrics=args.metrics,
+                                metrics_interval=args.metrics_interval,
+                                faults=faults,
+                                scheme_options=scheme_options)
+            attack = args.attack
+            n_attackers = args.attackers
+    except TypeError as exc:
+        # An unknown --scheme-opt key fails spec validation by design.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     (run,) = _make_runner(args).run([spec])
     print("", file=sys.stderr)
     if args.json:
@@ -530,7 +553,8 @@ def _cmd_report(args) -> int:
         specs.extend(build_flood_specs(attack, args.schemes, args.sweep,
                                        config, metrics=args.metrics,
                                        metrics_interval=args.metrics_interval))
-    fig11_cases = [(scheme, pattern) for scheme in ("tva", "siff")
+    fig11_cases = [(scheme, pattern)
+                   for scheme in args.schemes if scheme in FIG11_SCHEMES
                    for pattern in ("all_at_once", "staggered")]
     specs.extend(build_fig11_spec(scheme, pattern,
                                   duration=args.fig11_duration,
@@ -677,7 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_flood("fig10", _cmd_fig10, "authorized floods at a colluder")
 
     p11 = sub.add_parser("fig11", help="imprecise authorization policies")
-    p11.add_argument("--scheme", choices=("tva", "siff"), default="tva")
+    p11.add_argument("--scheme", choices=FIG11_SCHEMES, default="tva")
     p11.add_argument("--pattern", choices=("all_at_once", "staggered"),
                      default="all_at_once")
     p11.add_argument("--duration", type=float, default=50.0)
@@ -843,6 +867,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "link-down:T[:T_up][:LINK], link-up:T[:LINK], "
                          "reboot:T[:ROUTER][:keep-secret], route-change:T "
                          "(e.g. --fault link-down:1.0:5.0:bottleneck)")
+    ps.add_argument("--scheme-opt", action="append", metavar="KEY=VALUE",
+                    type=_parse_scheme_opt, dest="scheme_opt",
+                    help="override one knob of the selected scheme "
+                         "(repeatable); KEY is a field of the scheme's "
+                         "knob dataclass, VALUE is JSON when parseable "
+                         "(e.g. --scheme-opt beta=0.3)")
     add_runner_flags(ps, seeds=False)
     ps.set_defaults(fn=_cmd_scenario)
 

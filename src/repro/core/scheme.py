@@ -26,7 +26,7 @@ from ..sim.queues import (
     StochasticFairQueue,
     TokenBucket,
 )
-from ..sim.topology import SchemeFactory
+from ..sim.topology import LegacyDefaults
 from .flowstate import FlowStateTable
 from .header import RegularHeader, RequestHeader
 from .host import TvaHostShim
@@ -75,7 +75,7 @@ def _source_key(pkt: Packet):
     return pkt.src
 
 
-class TvaScheme(SchemeFactory):
+class TvaScheme(LegacyDefaults):
     """Factory producing TVA queue disciplines, routers, and host shims."""
 
     name = "tva"

@@ -26,9 +26,10 @@ from .results import RunResult
 from .runner import ScenarioSpec, SweepRunner
 
 #: Schemes compared by default: TVA against SIFF (capability baseline
-#: with its own soft state) and the legacy Internet (stateless, so the
-#: reboot is invisible — the control).
-DYNAMICS_SCHEMES = ("tva", "siff", "internet")
+#: with its own soft state), the legacy Internet (stateless, so the
+#: reboot is invisible — the control), and NetFence (whose rebooted
+#: access router loses limiter state and its feedback-MAC secret).
+DYNAMICS_SCHEMES = ("tva", "siff", "internet", "netfence")
 
 #: A scheme has recovered when its completion rate reaches this fraction
 #: of the pre-fault rate.

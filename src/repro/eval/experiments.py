@@ -121,8 +121,9 @@ def _scheme_kwargs(
     siff_secret_period: Optional[float] = None,
     siff_accept_previous: bool = True,
     siff_mark_bits: int = 2,
+    scheme_options: Optional[Dict] = None,
 ) -> Dict:
-    """Map an ExperimentConfig onto the registry factory's knobs."""
+    """Map an ExperimentConfig onto the registry's knob fields."""
     kwargs: Dict = {"seed": config.seed}
     if destination_policy is not None:
         kwargs["destination_policy"] = destination_policy
@@ -139,6 +140,9 @@ def _scheme_kwargs(
             accept_previous=siff_accept_previous,
             mark_bits=siff_mark_bits,
         )
+    if scheme_options:
+        # Per-spec knob overrides win over the config-derived defaults.
+        kwargs.update(scheme_options)
     return kwargs
 
 
@@ -149,6 +153,7 @@ def _make_scheme(
     siff_secret_period: Optional[float] = None,
     siff_accept_previous: bool = True,
     siff_mark_bits: int = 2,
+    scheme_options: Optional[Dict] = None,
 ):
     return build_scheme(
         name,
@@ -159,6 +164,7 @@ def _make_scheme(
             siff_secret_period=siff_secret_period,
             siff_accept_previous=siff_accept_previous,
             siff_mark_bits=siff_mark_bits,
+            scheme_options=scheme_options,
         ),
     )
 
@@ -208,6 +214,7 @@ def run_flood_scenario(
     siff_secret_period: Optional[float] = None,
     siff_accept_previous: bool = True,
     siff_mark_bits: int = 2,
+    scheme_options: Optional[Dict] = None,
     observer=None,
     faults=None,
     topology: Optional[TopologySpec] = None,
@@ -256,6 +263,7 @@ def run_flood_scenario(
         siff_secret_period=siff_secret_period,
         siff_accept_previous=siff_accept_previous,
         siff_mark_bits=siff_mark_bits,
+        scheme_options=scheme_options,
     )
     if topology is None:
         topology = dumbbell_spec(

@@ -51,6 +51,10 @@ from .results import PointResult, RunResult, SweepResult, normalize_metrics
 #: v5: per-packet fast path — instrumented runs gain the TVA
 #: validation-cache hit/miss counters (a strict superset of the v4
 #: metric names; simulation dynamics are golden-file-guarded unchanged).
+#: (The scheme-registry/NetFence change deliberately kept v5: existing
+#: schemes' dynamics are untouched, and the new ``scheme_options`` field
+#: joins the canonical form only when non-empty, so every pre-existing
+#: spec key — guarded by tests/eval/test_scheme_registry.py — survives.)
 CACHE_SALT = f"repro-runner-v5:{__version__}"
 
 #: Destination-policy names a spec may carry (see ``_policy_factory``).
@@ -108,6 +112,14 @@ class ScenarioSpec:
     #: bit-identical only at matching per-member schedules, so it is a
     #: distinct cache entry.
     aggregate: bool = False
+    #: Scheme knob overrides, keyed by the scheme's knob-dataclass field
+    #: names (see :mod:`repro.schemes`); the ``--scheme-opt`` CLI flag
+    #: feeds this.  Values are normalized to plain JSON on construction
+    #: and validated against the registry, so a typo'd knob fails at
+    #: spec-build time, not mid-sweep.  Omitted from :meth:`canonical`
+    #: when empty so every pre-existing default-knob spec key is
+    #: unchanged.
+    scheme_options: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -124,6 +136,17 @@ class ScenarioSpec:
             )
         if self.aggregate and self.topology is None:
             raise ValueError("aggregate=True requires a topology spec")
+        if self.scheme_options:
+            from ..schemes import knobs_for
+
+            # Round through JSON so tuples and dict ordering can never
+            # make two equivalent specs hash differently.
+            object.__setattr__(
+                self,
+                "scheme_options",
+                json.loads(json.dumps(self.scheme_options, sort_keys=True)),
+            )
+            knobs_for(self.scheme, self.scheme_options)  # validate eagerly
 
     def canonical(self) -> dict:
         """The spec as plain data, independent of field ordering."""
@@ -140,6 +163,10 @@ class ScenarioSpec:
             del data["aggregate"]
         else:
             data["topology"] = self.topology.canonical()
+        # Same treatment for knob overrides: absent at the default (no
+        # overrides), so default-knob spec keys predate-the-field exactly.
+        if not self.scheme_options:
+            del data["scheme_options"]
         return data
 
     def to_dict(self) -> dict:
@@ -223,6 +250,7 @@ def run_spec(spec: ScenarioSpec) -> RunResult:
         siff_secret_period=spec.siff_secret_period,
         siff_accept_previous=spec.siff_accept_previous,
         siff_mark_bits=spec.siff_mark_bits,
+        scheme_options=spec.scheme_options or None,
         observer=observer,
         faults=spec.faults,
         topology=spec.topology,
@@ -281,6 +309,12 @@ def build_flood_specs(
     ]
 
 
+#: Schemes with a meaningful Figure 11 story: a per-sender authorization
+#: (capability or feedback loop) the imprecise policy can decline to
+#: renew.  Pushback and the legacy Internet have nothing to expire.
+FIG11_SCHEMES = ("tva", "siff", "netfence")
+
+
 def build_fig11_spec(
     scheme_name: str,
     pattern: str = "all_at_once",
@@ -304,6 +338,13 @@ def build_fig11_spec(
     groups = 10 if pattern == "staggered" else 1
     if scheme_name == "siff":
         group_lifetime = 3.0  # marks die at the next secret rotation
+    elif scheme_name == "netfence":
+        from ..baselines.netfence import FEEDBACK_EXPIRY
+
+        # The oracle policy stops echoing to attackers immediately, so a
+        # group stays effective until its one echoed feedback goes stale
+        # and the robustness limiter converges (~a control interval).
+        group_lifetime = FEEDBACK_EXPIRY + 1.0
     else:
         # 32 KB at the attack rate, plus a little handshake latency.
         group_lifetime = (

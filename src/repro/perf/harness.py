@@ -61,6 +61,22 @@ def _workload_fig8(quick: bool) -> None:
     )
 
 
+def _workload_fig8_netfence(quick: bool) -> None:
+    """The same fig8 scenario under NetFence: its costs live in feedback
+    MACs (hashes) and per-sender limiter churn rather than capability
+    validation, so the guard pins a second scheme-shaped profile."""
+    duration = 3.0 if quick else 8.0
+    run_spec(
+        ScenarioSpec(
+            scheme="netfence",
+            attack="legacy",
+            n_attackers=10,
+            seed=1,
+            config=ExperimentConfig(duration=duration, seed=1),
+        )
+    )
+
+
 def _workload_event_loop(quick: bool) -> None:
     """Pure simulator churn: timer re-arm/cancel cycles (the TCP pattern
     that grows the lazy-deletion heap) plus fire-and-forget deliveries."""
@@ -165,6 +181,7 @@ def _workload_topo_fattree(quick: bool) -> None:
 #: name -> workload, in report order.
 WORKLOADS: Dict[str, Callable[[bool], None]] = {
     "fig8_e2e": _workload_fig8,
+    "fig8_netfence": _workload_fig8_netfence,
     "event_loop": _workload_event_loop,
     "validation": _workload_validation,
     "codec": _workload_codec,

@@ -70,6 +70,7 @@ class ScenarioDef:
         metrics: bool = False,
         metrics_interval: float = 0.5,
         faults=None,
+        scheme_options=None,
         **config_kwargs,
     ) -> ScenarioSpec:
         """The runnable :class:`ScenarioSpec` for this scenario.
@@ -97,6 +98,7 @@ class ScenarioDef:
             faults=faults if faults is not None else (),
             topology=self.topology,
             aggregate=self.aggregate,
+            scheme_options=dict(scheme_options or {}),
         )
 
 

@@ -21,6 +21,7 @@ from .queues import (
 from .routing import RoutingError, build_static_routes
 from .topology import (
     Dumbbell,
+    LegacyDefaults,
     Network,
     SchemeFactory,
     build_chain,
@@ -53,6 +54,7 @@ __all__ = [
     "Host",
     "HostShim",
     "IP_TCP_HEADER",
+    "LegacyDefaults",
     "Link",
     "LinkMonitor",
     "LinkSample",

@@ -55,6 +55,14 @@ class Qdisc:
         #: Optional callback invoked with each dropped packet; pushback's
         #: aggregate detection feeds on this.
         self.drop_hook: Optional[Callable[[Packet], None]] = None
+        #: Congestion-marking hook: when both are set, every *accepted*
+        #: enqueue that leaves ``backlog_bytes`` at or above the threshold
+        #: invokes ``mark_hook(pkt)``.  NetFence's bottleneck routers flip
+        #: their feedback stamps to ``cong`` here; dropped packets never
+        #: fire it (they carry no feedback onward).  Off by default — the
+        #: per-enqueue cost when unset is a single attribute test.
+        self.mark_threshold_bytes: Optional[int] = None
+        self.mark_hook: Optional[Callable[[Packet], None]] = None
 
     @property
     def drops(self) -> int:
@@ -108,6 +116,12 @@ class Qdisc:
         self.backlog_bytes += pkt.size
         self.backlog_pkts += 1
         PERF.enqueues += 1
+        if (
+            self.mark_hook is not None
+            and self.mark_threshold_bytes is not None
+            and self.backlog_bytes >= self.mark_threshold_bytes
+        ):
+            self.mark_hook(pkt)
 
     def _account_out(self, pkt: Packet) -> None:
         self.backlog_bytes -= pkt.size
@@ -389,6 +403,26 @@ class TokenBucket:
     #: bucket can asymptotically approach (but never reach) a packet's
     #: size, deadlocking the link that polls on ``time_until``.
     _EPSILON = 1e-6
+
+    def set_rate(
+        self, rate_bps: float, now: float, burst_bytes: Optional[int] = None
+    ) -> None:
+        """Change the fill rate (and optionally the burst cap) at ``now``.
+
+        Tokens accrued so far are settled at the *old* rate first, so a
+        mid-interval change never re-prices already-elapsed time.
+        NetFence's AIMD limiters adjust their rates through this every
+        control interval.
+        """
+        if rate_bps <= 0:
+            raise ValueError("token bucket rate must be positive")
+        self._refill(now)
+        self.rate_Bps = rate_bps / 8.0
+        if burst_bytes is not None:
+            if burst_bytes <= 0:
+                raise ValueError("token bucket burst must be positive")
+            self.burst_bytes = burst_bytes
+            self._tokens = min(self._tokens, float(burst_bytes))
 
     def try_consume(self, nbytes: int, now: float) -> bool:
         self._refill(now)

@@ -25,7 +25,7 @@ implement this factory protocol.  See :class:`SchemeFactory`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Protocol, Tuple
 
 from .engine import Simulator
 from .link import AggregateLink, Link
@@ -35,11 +35,84 @@ from .routing import build_static_routes
 from .topospec import LinkSpec, NodeSpec, TopologySpec, dumbbell_spec
 
 
-class SchemeFactory:
-    """Factory protocol a DoS-defense scheme implements to wire a topology.
+class SchemeFactory(Protocol):
+    """The protocol a DoS-defense scheme implements to wire a topology.
 
-    The default implementations give the legacy Internet: FIFO queues,
-    no router processing, no host shim.
+    This used to be a concrete class whose default method bodies *were*
+    the legacy Internet; those defaults now live on
+    :class:`LegacyDefaults`, which every shipped scheme extends.  The
+    protocol itself only states the contract, so a type checker (and a
+    reader) can see exactly which hooks a scheme may override without
+    inheriting behaviour implicitly.
+
+    Queue sizing comes in two deliberate flavours:
+
+    * :meth:`make_qdisc` builds the discipline actually installed on a
+      link.  The legacy default is a *packet*-limited DropTail
+      (ns-2-style ``limit_pkts=50``): large flood packets and small TCP
+      control packets face the same loss rate, which is the behaviour
+      the paper's Internet baseline needs.  It deliberately does **not**
+      consult :meth:`queue_limit`.
+    * :meth:`queue_limit` is the *byte* budget helper — roughly 50 ms of
+      buffering at link rate — for schemes whose queues are byte-limited.
+      TVA sizes its regular-class per-queue byte limits from it, and
+      NetFence's byte-limited bottleneck FIFO (and its congestion-mark
+      threshold) derives from it.  A scheme that keeps the packet-limited
+      default simply never calls it.
+
+    ``tests/sim/test_scheme_protocol.py`` pins this split so the two
+    methods cannot silently drift back into looking redundant.
+    """
+
+    name: str
+
+    def make_qdisc(self, link_kind: str, bandwidth_bps: float) -> Qdisc:
+        """Queue discipline for one directed link.  ``link_kind`` is one
+        of ``bottleneck``, ``access_up`` (host to router),
+        ``access_down``, ``core`` (router to router, reverse)."""
+        ...
+
+    def queue_limit(self, link_kind: str, bandwidth_bps: float) -> int:
+        """Byte budget for a byte-limited queue on such a link (see the
+        class docstring for how this relates to :meth:`make_qdisc`)."""
+        ...
+
+    def make_router_processor(self, router_name: str, trust_boundary: bool) -> Optional[RouterProcessor]:
+        """Per-router packet processor, or ``None`` for plain forwarding."""
+        ...
+
+    def make_host_shim(self, role: str) -> Optional[HostShim]:
+        """``role`` is ``user``, ``attacker``, ``destination`` or ``colluder``."""
+        ...
+
+    def wire(self, net: "Dumbbell") -> None:
+        """Post-construction hook (e.g. pushback registers the links whose
+        drops it monitors)."""
+        ...
+
+    def reboot_router(self, router_name: str, now: float, rotate_secret: bool = True) -> bool:
+        """Fault-injection hook: the named router rebooted at ``now``.
+
+        A scheme that keeps per-router state (TVA's flow-state table and
+        secrets, SIFF's marking secret, pushback's filters, NetFence's
+        feedback secrets and rate limiters) clears it here;
+        ``rotate_secret`` additionally discards any keying material,
+        killing outstanding authorizations through that router.  Returns
+        ``True`` when the scheme held state for the router.
+        """
+        ...
+
+    def metric_items(self) -> Iterable[Tuple[str, Callable[[], float]]]:
+        """Scheme-specific metrics as ``(name, read)`` pairs; the
+        observability layer registers them under ``scheme.<name>``."""
+        ...
+
+
+class LegacyDefaults:
+    """Concrete :class:`SchemeFactory` base with legacy-Internet defaults:
+    FIFO queues, no router processing, no host shim, no state to reboot.
+
+    Schemes extend this and override only the hooks they care about.
     """
 
     name = "legacy"
@@ -48,8 +121,8 @@ class SchemeFactory:
     queue_limit_pkts = 50
 
     def make_qdisc(self, link_kind: str, bandwidth_bps: float) -> Qdisc:
-        """``link_kind`` is one of ``bottleneck``, ``access_up`` (host to
-        router), ``access_down``, ``core`` (router to router, reverse)."""
+        # Packet-limited by design — NOT queue_limit()'s byte budget; see
+        # the SchemeFactory docstring for the bytes-vs-packets split.
         return DropTailQueue(limit_bytes=None, limit_pkts=self.queue_limit_pkts)
 
     def queue_limit(self, link_kind: str, bandwidth_bps: float) -> int:
@@ -61,29 +134,16 @@ class SchemeFactory:
         return None
 
     def make_host_shim(self, role: str) -> Optional[HostShim]:
-        """``role`` is ``user``, ``attacker``, ``destination`` or ``colluder``."""
         return None
 
     def wire(self, net: "Dumbbell") -> None:
-        """Post-construction hook (e.g. pushback registers the links whose
-        drops it monitors)."""
+        pass
 
     def reboot_router(self, router_name: str, now: float, rotate_secret: bool = True) -> bool:
-        """Fault-injection hook: the named router rebooted at ``now``.
-
-        A scheme that keeps per-router state (TVA's flow-state table and
-        secrets, SIFF's marking secret, pushback's filters) clears it here;
-        ``rotate_secret`` additionally discards any keying material, killing
-        outstanding authorizations through that router.  Returns ``True``
-        when the scheme held state for the router — the legacy Internet
-        keeps none, so the default is ``False``.
-        """
+        # The legacy Internet keeps no per-router state.
         return False
 
     def metric_items(self) -> Iterable[Tuple[str, Callable[[], float]]]:
-        """Scheme-specific metrics as ``(name, read)`` pairs; the
-        observability layer registers them under ``scheme.<name>``.  The
-        legacy Internet has no scheme state to report."""
         return ()
 
 

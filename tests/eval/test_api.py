@@ -57,8 +57,9 @@ class TestFacade:
 
 class TestSchemeRegistry:
     def test_registry_names_are_stable(self):
-        assert list(api.SCHEMES) == ["tva", "siff", "pushback", "internet"]
-        assert api.scheme_names() == ("tva", "siff", "pushback", "internet")
+        expected = ["tva", "siff", "pushback", "internet", "netfence"]
+        assert list(api.SCHEMES) == expected
+        assert api.scheme_names() == tuple(expected)
 
     def test_build_scheme_constructs_each(self):
         for name in api.scheme_names():
@@ -73,13 +74,13 @@ class TestSchemeRegistry:
         with pytest.raises(TypeError, match="tva"):
             api.build_scheme("tva", warp_factor=9)
 
-    def test_factories_are_keyword_only(self):
-        import inspect
+    def test_registry_values_are_knob_dataclasses(self):
+        import dataclasses
 
-        for name, factory in api.SCHEMES.items():
-            params = inspect.signature(factory).parameters.values()
-            assert all(p.kind is inspect.Parameter.KEYWORD_ONLY
-                       for p in params), name
+        for name, knob_cls in api.SCHEMES.items():
+            assert dataclasses.is_dataclass(knob_cls), name
+            assert knob_cls().build(seed=7).name  # default knobs build
+            assert knob_cls.scheme_name == name
 
 
 class TestDeprecationShims:

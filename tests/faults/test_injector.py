@@ -13,13 +13,13 @@ from repro.faults import (
 )
 from repro.sim import Simulator, build_chain, build_parallel
 from repro.sim.packet import Packet
-from repro.sim.topology import SchemeFactory
+from repro.sim.topology import LegacyDefaults
 from repro.transport import PacketSink
 
 
 def make_legacy_chain(link_bps=1e6):
     sim = Simulator()
-    scheme = SchemeFactory()  # legacy Internet defaults
+    scheme = LegacyDefaults()  # legacy Internet defaults
     net = build_chain(sim, scheme, n_routers=2, link_bps=link_bps)
     return sim, scheme, net
 
@@ -101,7 +101,7 @@ class TestLinkDown:
 class TestRouteChange:
     def test_reroutes_around_down_link(self):
         sim = Simulator()
-        scheme = SchemeFactory()
+        scheme = LegacyDefaults()
         net = build_parallel(sim, scheme)
         r1 = net.router_by_name("R1")
         dst = net.destination.address
@@ -119,7 +119,7 @@ class TestRouteChange:
 
     def test_partition_clears_routes_instead_of_raising(self):
         sim = Simulator()
-        scheme = SchemeFactory()
+        scheme = LegacyDefaults()
         net = build_parallel(sim, scheme)
         r1 = net.router_by_name("R1")
         dst = net.destination.address

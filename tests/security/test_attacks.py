@@ -264,3 +264,171 @@ class TestDefenseInDepth:
         r_path_b = make_router("B")
         cap = obtain_capability(r_path_a, 1, 2)
         assert send_regular(r_path_b, 1, 2, [cap]) == LEGACY
+
+
+# ---------------------------------------------------------------------------
+# NetFence (the closed-loop policing baseline) under the same threat model.
+# ---------------------------------------------------------------------------
+
+
+class _NfRouter:
+    def __init__(self, sim):
+        self.sim = sim
+
+
+class _NfLink:
+    def __init__(self, boundary_ingress):
+        self.boundary_ingress = boundary_ingress
+
+
+def _nf_setup(**knobs):
+    from repro.baselines import NetFenceScheme
+    from repro.baselines.netfence import NetFenceRouterProcessor
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    scheme = NetFenceScheme(seed=11, **knobs)
+    proc = NetFenceRouterProcessor("R1", scheme, trust_boundary=True)
+    return sim, scheme, proc, _NfRouter(sim), _NfLink(True)
+
+
+def _nf_advance(sim, until):
+    sim.at(until, lambda: None)
+    sim.run()
+
+
+class TestNetFenceFeedbackForgery:
+    """NetFence's analogue of capability forgery: fabricating or
+    laundering congestion-policing feedback.  The 56-bit keyed MAC and
+    the freshness window make every variant fail."""
+
+    def test_random_feedback_macs_never_validate(self):
+        from repro.baselines.netfence import NetFenceFeedback
+
+        _, _, proc, _, _ = _nf_setup()
+        hits = 0
+        for i in range(500):
+            fb = NetFenceFeedback(mark="mono", ts=0, stamper="R1",
+                                  bottleneck="", mac=i * 2654435761 % (1 << 56))
+            hits += proc._validate(fb, 1, 0.0)
+        assert hits == 0
+        assert proc._senders == {}
+
+    def test_garbage_feedback_is_not_fresh_evidence(self):
+        """Presenting junk must not substitute for closing the loop: the
+        robustness limiter still appears as if nothing was presented."""
+        from repro.baselines.netfence import NetFenceFeedback, NetFenceHeader
+        from repro.sim import Packet
+
+        sim, scheme, proc, router, ingress = _nf_setup()
+        for t in (0.0, 1.5):
+            _nf_advance(sim, t)
+            fb = NetFenceFeedback(mark="mono", ts=int(t), stamper="R1",
+                                  bottleneck="", mac=12345)
+            pkt = Packet(src=1, dst=2, size=100, proto="cbr",
+                         shim=NetFenceHeader(presented=fb), created=t)
+            proc.process(pkt, router, ingress, None)
+        assert proc.presented_invalid == 2
+        assert "" in proc._senders[1].limiters
+
+    def test_hoarded_mono_feedback_goes_stale(self):
+        """An attacker cannot bank good-behaviour feedback before an
+        attack: a mono stamp older than the expiry no longer validates."""
+        from repro.sim import Packet
+
+        sim, scheme, proc, router, ingress = _nf_setup()
+        pkt = Packet(src=1, dst=2, size=100, proto="cbr", created=0.0)
+        proc.process(pkt, router, ingress, None)
+        hoard = pkt.shim.feedback.clone()
+        assert proc._validate(hoard, 1, scheme.feedback_expiry)
+        assert not proc._validate(hoard, 1, scheme.feedback_expiry + 1.5)
+
+
+class TestNetFenceFlood:
+    """The capability-flood analogue: a flooder that simply refuses to
+    run the feedback loop.  The robustness rule throttles it to the
+    minimum rate — breaking the protocol earns nothing."""
+
+    def test_mute_flooder_converges_to_the_floor(self):
+        from repro.sim import Packet
+
+        sim, scheme, proc, router, ingress = _nf_setup()
+        delivered_late = 0
+        t = 0.0
+        while t < 12.0:
+            _nf_advance(sim, t)
+            pkt = Packet(src=1, dst=2, size=1500, proto="cbr", created=t)
+            if proc.process(pkt, router, ingress, None) and t >= 10.0:
+                delivered_late += pkt.size
+            t += 0.01
+        lim = proc._senders[1].limiters[""]
+        assert lim.rate_bps == scheme.min_rate_bps
+        assert proc.policed_drops > 0
+        # Goodput in the last two seconds is near the floor, nowhere
+        # near the ~3 MB offered.
+        assert delivered_late * 8 / 2.0 < 4 * scheme.min_rate_bps
+
+    def test_behaving_sender_is_never_limited(self):
+        from repro.sim import Packet
+
+        sim, scheme, proc, router, ingress = _nf_setup()
+        stamp = None
+        t = 0.0
+        drops_before = proc.policed_drops
+        while t < 6.0:
+            _nf_advance(sim, t)
+            pkt = Packet(src=1, dst=2, size=1500, proto="cbr", created=t)
+            if stamp is not None:
+                from repro.baselines.netfence import NetFenceHeader
+
+                pkt.shim = NetFenceHeader(presented=stamp.clone())
+            proc.process(pkt, router, ingress, None)
+            if pkt.shim is not None and pkt.shim.feedback is not None:
+                stamp = pkt.shim.feedback
+            t += 0.25
+        assert proc._senders[1].limiters == {}
+        assert proc.policed_drops == drops_before
+
+
+class TestNetFenceShrew:
+    """A shrew-style pulser alternates congestion bursts with quiet
+    periods, hoping each limiter is torn down before the next pulse.
+    The release hysteresis (``release_intervals`` of mono-only evidence)
+    keeps the limiter alive across the quiet phase."""
+
+    def test_pulsing_attacker_stays_limited(self):
+        from repro.baselines.netfence import NetFenceHeader
+        from repro.sim import Packet
+
+        sim, scheme, proc, router, ingress = _nf_setup()
+        period = scheme.release_intervals  # quiet just short of release
+
+        def send(t, presented=None):
+            _nf_advance(sim, t)
+            shim = NetFenceHeader(presented=presented) if presented else None
+            pkt = Packet(src=1, dst=2, size=200, proto="cbr", shim=shim,
+                         created=t)
+            proc.process(pkt, router, ingress, None)
+            return pkt
+
+        stamp = send(0.0).shim.feedback
+        limited_checks = 0
+        for j in range(1, 4 * period + 1):
+            t = 1.1 * j
+            fb = stamp.clone()
+            if j % period == 0:
+                # Pulse: the bottleneck marks the sender's feedback cong.
+                proc.mark_cong(Packet(src=1, dst=2, size=200, proto="cbr"),
+                               fb, "R1->R2", sim.now)
+            pkt = send(t, presented=fb)
+            stamp = pkt.shim.feedback or stamp
+            if j > period:
+                assert "R1->R2" in proc._senders[1].limiters, (
+                    f"limiter released mid-pulse-cycle at interval {j}"
+                )
+                limited_checks += 1
+        assert limited_checks > 0
+        # The AIMD fixed point under pulsing stays below the initial
+        # (unlimited) rate: pulsing is strictly worse than behaving.
+        lim = proc._senders[1].limiters["R1->R2"]
+        assert lim.rate_bps < scheme.init_rate_bps

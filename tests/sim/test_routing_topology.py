@@ -8,7 +8,7 @@ from repro.sim import (
     DropTailQueue,
     Packet,
     RoutingError,
-    SchemeFactory,
+    LegacyDefaults,
     Simulator,
     build_chain,
     build_dumbbell,
@@ -45,7 +45,7 @@ class TestStaticRoutes:
 class TestDumbbell:
     def test_figure7_shape(self):
         sim = Simulator()
-        net = build_dumbbell(sim, SchemeFactory(), n_users=10, n_attackers=5)
+        net = build_dumbbell(sim, LegacyDefaults(), n_users=10, n_attackers=5)
         assert len(net.users) == 10
         assert len(net.attackers) == 5
         assert net.destination is not None
@@ -55,7 +55,7 @@ class TestDumbbell:
     def test_rtt_is_60ms(self):
         """10 ms access + 10 ms bottleneck + 10 ms access, each way."""
         sim = Simulator()
-        net = build_dumbbell(sim, SchemeFactory(), n_users=1, n_attackers=0)
+        net = build_dumbbell(sim, LegacyDefaults(), n_users=1, n_attackers=0)
         user, dest = net.users[0], net.destination
         got = []
         dest.bind("raw", 0, lambda pkt: dest.send(
@@ -67,26 +67,26 @@ class TestDumbbell:
 
     def test_unique_addresses(self):
         sim = Simulator()
-        net = build_dumbbell(sim, SchemeFactory(), n_users=3, n_attackers=3)
+        net = build_dumbbell(sim, LegacyDefaults(), n_users=3, n_attackers=3)
         addrs = [h.address for h in net.users + net.attackers
                  + [net.destination, net.colluder]]
         assert len(addrs) == len(set(addrs))
 
     def test_without_colluder(self):
         sim = Simulator()
-        net = build_dumbbell(sim, SchemeFactory(), with_colluder=False)
+        net = build_dumbbell(sim, LegacyDefaults(), with_colluder=False)
         assert net.colluder is None
 
     def test_host_by_address(self):
         sim = Simulator()
-        net = build_dumbbell(sim, SchemeFactory(), n_users=2, n_attackers=0)
+        net = build_dumbbell(sim, LegacyDefaults(), n_users=2, n_attackers=0)
         user = net.users[1]
         assert net.host_by_address(user.address) is user
         assert net.host_by_address(9999) is None
 
     def test_cross_traffic_end_to_end(self):
         sim = Simulator()
-        net = build_dumbbell(sim, SchemeFactory(), n_users=2, n_attackers=1)
+        net = build_dumbbell(sim, LegacyDefaults(), n_users=2, n_attackers=1)
         got = []
         net.destination.bind("raw", 0, got.append)
         for host in net.users + net.attackers:
@@ -98,7 +98,7 @@ class TestDumbbell:
 class TestChain:
     def test_chain_connectivity(self):
         sim = Simulator()
-        net = build_chain(sim, SchemeFactory(), n_routers=4)
+        net = build_chain(sim, LegacyDefaults(), n_routers=4)
         got = []
         net.destination.bind("raw", 0, got.append)
         src = net.users[0]
@@ -108,7 +108,7 @@ class TestChain:
 
     def test_chain_router_count(self):
         sim = Simulator()
-        net = build_chain(sim, SchemeFactory(), n_routers=3)
+        net = build_chain(sim, LegacyDefaults(), n_routers=3)
         routers = [n for n in net.nodes if isinstance(n, Router)]
         assert len(routers) == 3
 

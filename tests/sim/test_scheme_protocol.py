@@ -1,0 +1,76 @@
+"""The bytes-vs-packets queue-sizing split in the ``SchemeFactory``
+protocol.
+
+``make_qdisc`` and ``queue_limit`` look redundant at a glance — both
+answer "how big is the queue on this link?" — but they are deliberately
+different axes:
+
+* ``make_qdisc``'s legacy default is *packet*-limited (ns-2-style
+  ``limit_pkts=50``) and never consults ``queue_limit``; the paper's
+  Internet baseline needs flood packets and small TCP control packets to
+  face the same loss rate.
+* ``queue_limit`` is the *byte* budget (~50 ms of buffering at link
+  rate) used by schemes whose queues are byte-limited: TVA sizes its
+  regular-class per-queue limits from it, and NetFence's bottleneck FIFO
+  is byte-limited by it directly.
+
+The ``SchemeFactory`` docstring points here; these tests pin the split
+so the two methods cannot drift back into looking interchangeable.
+"""
+
+from repro.baselines.netfence import NetFenceScheme
+from repro.core import TvaScheme
+from repro.sim.queues import DropTailQueue, PriorityScheduler
+from repro.sim.topology import LegacyDefaults
+
+BW = 10e6  # the default dumbbell bottleneck
+
+
+class TestLegacyDefaults:
+    def test_legacy_qdisc_is_packet_limited_droptail(self):
+        q = LegacyDefaults().make_qdisc("bottleneck", BW)
+        assert isinstance(q, DropTailQueue)
+        assert q.limit_pkts == LegacyDefaults.queue_limit_pkts == 50
+        assert q.limit_bytes is None
+
+    def test_legacy_qdisc_ignores_queue_limit(self):
+        # Same packet budget at wildly different rates: the byte budget
+        # moves, the installed discipline does not.
+        scheme = LegacyDefaults()
+        slow = scheme.make_qdisc("bottleneck", 1e6)
+        fast = scheme.make_qdisc("bottleneck", 1e9)
+        assert slow.limit_pkts == fast.limit_pkts == 50
+        assert scheme.queue_limit("bottleneck", 1e6) != scheme.queue_limit(
+            "bottleneck", 1e9
+        )
+
+    def test_queue_limit_is_50ms_of_buffering_with_floor(self):
+        scheme = LegacyDefaults()
+        assert scheme.queue_limit("bottleneck", BW) == int(BW / 8 * 0.05)
+        # Slow links hit the MTU floor instead of a uselessly tiny queue.
+        assert scheme.queue_limit("access_up", 56e3) == 15_000
+
+
+class TestByteLimitedConsumers:
+    def test_tva_regular_class_derives_from_queue_limit(self):
+        scheme = TvaScheme()
+        sched = scheme.make_qdisc("bottleneck", BW)
+        assert isinstance(sched, PriorityScheduler)
+        regular = next(c for c in sched.children if c.label == "regular")
+        legacy_limit = scheme.queue_limit("bottleneck", BW)
+        assert regular.limit_bytes_per_queue == max(16_000, legacy_limit // 2)
+
+    def test_tva_keeps_a_packet_limited_legacy_class(self):
+        # The split inside one scheme: TVA's lowest class is still the
+        # packet-limited legacy FIFO for unmarked traffic.
+        sched = TvaScheme().make_qdisc("bottleneck", BW)
+        legacy = next(c for c in sched.children if c.label == "legacy")
+        assert legacy.limit_pkts == 50
+        assert legacy.limit_bytes is None
+
+    def test_netfence_bottleneck_fifo_is_byte_limited_by_queue_limit(self):
+        scheme = NetFenceScheme()
+        q = scheme.make_qdisc("bottleneck", BW)
+        assert isinstance(q, DropTailQueue)
+        assert q.limit_bytes == scheme.queue_limit("bottleneck", BW)
+        assert q.limit_pkts is None

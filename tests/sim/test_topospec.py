@@ -9,7 +9,7 @@ from repro.sim import (
     AggregateLink,
     LinkSpec,
     NodeSpec,
-    SchemeFactory,
+    LegacyDefaults,
     Simulator,
     TopologySpec,
     as_graph_spec,
@@ -87,7 +87,7 @@ class TestSpecShapes:
         assert procs["R2"] is not None
 
 
-class _SchemeWithProcessors(SchemeFactory):
+class _SchemeWithProcessors(LegacyDefaults):
     def make_router_processor(self, router_name, trust_boundary):
         from repro.sim.node import RouterProcessor
 
@@ -102,7 +102,7 @@ class TestInstantiation:
         (build_static_routes raises on any unreachable pair)."""
         spec = generator()
         sim = Simulator()
-        net = instantiate(spec, sim, SchemeFactory())
+        net = instantiate(spec, sim, LegacyDefaults())
         assert net.destination is not None
         assert net.bottleneck is not None
         routers = [n for n in net.nodes if isinstance(n, Router)]
@@ -116,7 +116,7 @@ class TestInstantiation:
         spec = tree_spec(branches=2, leaves_per_branch=1,
                          users_per_leaf=1, attackers_per_leaf=30)
         sim = Simulator()
-        net = instantiate(spec, sim, SchemeFactory(), aggregate=True)
+        net = instantiate(spec, sim, LegacyDefaults(), aggregate=True)
         assert len(net.aggregates) == 2
         assert all(isinstance(a, AggregateHost) for a in net.aggregates)
         assert all(a.count == 30 for a in net.aggregates)
@@ -128,7 +128,7 @@ class TestInstantiation:
     def test_aggregate_routing_uses_range_entries(self):
         spec = dumbbell_spec(n_users=2, n_attackers=50)
         sim = Simulator()
-        net = instantiate(spec, sim, SchemeFactory(), aggregate=True)
+        net = instantiate(spec, sim, LegacyDefaults(), aggregate=True)
         (agg,) = net.aggregates
         # one range entry covers all 50 addresses at the far router
         right = net.right
@@ -151,7 +151,7 @@ class TestInstantiation:
             ),
         )
         with pytest.raises(ValueError, match="group-to-group"):
-            instantiate(spec, Simulator(), SchemeFactory())
+            instantiate(spec, Simulator(), LegacyDefaults())
 
 
 class TestRoundTrip:
