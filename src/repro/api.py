@@ -40,7 +40,7 @@ from .schemes import (
 )
 
 # -- static analysis (determinism & simulation safety) ---------------------
-from .lint import Finding, LintEngine
+from .lint import Finding, LintEngine, LintError
 from .lint import RULES as LINT_RULES
 from .lint import lint_paths
 
@@ -226,6 +226,7 @@ __all__ = [
     # static analysis
     "lint_paths",
     "LintEngine",
+    "LintError",
     "Finding",
     "LINT_RULES",
     # specs and results

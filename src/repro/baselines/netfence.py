@@ -402,7 +402,7 @@ class NetFenceHostShim(HostShim):
     def __init__(self, policy: Optional[DestinationPolicy] = None,
                  rng: Optional[random.Random] = None) -> None:
         self.policy = policy or ServerPolicy()
-        self.rng = rng or random.Random(0)
+        self.rng = rng or random.Random(0)  # repro: allow-rng-provenance — deterministic default for standalone construction; sweeps always inject a spec-derived rng
         self._present: Dict[int, NetFenceFeedback] = {}   # peer -> echo to present
         self._to_echo: Dict[int, NetFenceFeedback] = {}   # peer -> their freshest stamp
         self._last_echo: Dict[int, float] = {}

@@ -161,7 +161,7 @@ class SiffHostShim(HostShim):
         mark_lifetime: Optional[float] = None,
     ) -> None:
         self.policy = policy or ServerPolicy()
-        self.rng = rng or random.Random(0)
+        self.rng = rng or random.Random(0)  # repro: allow-rng-provenance — deterministic default for standalone construction; sweeps always inject a spec-derived rng
         #: How long senders assume marks stay valid (the router secret
         #: period).  When set, senders refresh proactively by sending an
         #: explorer before expiry — data rides on explorers in SIFF, so the

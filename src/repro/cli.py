@@ -376,9 +376,12 @@ def _cmd_lint(args) -> int:
 
     from .lint import (
         Baseline,
+        IncrementalCache,
         LintEngine,
         LintError,
+        default_cache_path,
         mark_baselined,
+        render_github,
         render_json,
         render_text,
     )
@@ -389,8 +392,14 @@ def _cmd_lint(args) -> int:
     if args.select:
         select = [token.strip() for token in args.select.split(",")
                   if token.strip()]
+    cache = None
+    if not args.no_incremental:
+        cache_file = Path(args.cache_file) if args.cache_file \
+            else default_cache_path()
+        cache = IncrementalCache(cache_file)
+    exclude = [Path(p) for p in args.exclude] if args.exclude else None
     try:
-        engine = LintEngine(select=select)
+        engine = LintEngine(select=select, cache=cache, exclude=exclude)
         findings, files_scanned = engine.lint_paths(paths)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -416,6 +425,8 @@ def _cmd_lint(args) -> int:
 
     if args.format == "json":
         print(render_json(findings, files_scanned))
+    elif args.format == "github":
+        print(render_github(findings, files_scanned))
     else:
         print(render_text(findings, files_scanned,
                           show_suppressed=args.show_suppressed))
@@ -810,11 +821,18 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("paths", nargs="*", metavar="PATH",
                     help="files or directories to lint "
                          "(default: the repro package itself)")
-    pl.add_argument("--format", choices=("text", "json"), default="text",
-                    help="report format (default: text)")
+    pl.add_argument("--format", choices=("text", "json", "github"),
+                    default="text",
+                    help="report format (default: text; github emits "
+                         "::error workflow annotations)")
     pl.add_argument("--select", default=None, metavar="RULES",
-                    help="comma-separated rule codes or slugs to run "
-                         "(e.g. D001,unordered-iter; default: all)")
+                    help="comma-separated rule codes, slugs, or single-"
+                         "letter families to run (e.g. C or D,X001; "
+                         "default: all)")
+    pl.add_argument("--exclude", action="append", default=None,
+                    metavar="PATH",
+                    help="skip files under PATH (repeatable; e.g. the "
+                         "deliberately-dirty tests/lint/fixtures)")
     pl.add_argument("--baseline", default=None, metavar="PATH",
                     help="baseline file: known findings don't fail the run")
     pl.add_argument("--write-baseline", action="store_true",
@@ -823,6 +841,13 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--show-suppressed", action="store_true",
                     help="also list suppressed/baselined findings in text "
                          "output")
+    pl.add_argument("--no-incremental", action="store_true",
+                    help="disable the per-file result cache (always do a "
+                         "cold scan)")
+    pl.add_argument("--cache-file", default=None, metavar="PATH",
+                    help="incremental cache location (default: "
+                         "$REPRO_CACHE_DIR or ~/.cache/repro/"
+                         "lint-cache.json)")
     pl.set_defaults(fn=_cmd_lint)
 
     pb = sub.add_parser(

@@ -146,7 +146,7 @@ class TvaHostShim(HostShim):
         infer_dead_caps: bool = True,
     ) -> None:
         self.policy = policy or ServerPolicy()
-        self.rng = rng or random.Random(0)
+        self.rng = rng or random.Random(0)  # repro: allow-rng-provenance — deterministic default for standalone construction; sweeps always inject a spec-derived rng
         self.renewal_threshold = renewal_threshold
         #: Whether repeated demote echoes right after caps-bearing sends
         #: make the sender conclude its capabilities are dead (router

@@ -1,4 +1,4 @@
-"""repro.lint — AST-based determinism & simulation-safety analyzer.
+"""repro.lint — AST-based determinism & project-contract analyzer.
 
 The reproduction's headline guarantee is bit-identical replay: the same
 :class:`~repro.eval.runner.ScenarioSpec` produces the same bytes whether
@@ -6,53 +6,83 @@ it runs in-process, across a worker pool, or from the result cache, under
 any ``PYTHONHASHSEED``.  Two shipped bugs (the SFQ salted-``hash()``
 buckets, the non-canonical ``ReturnInfo`` decode) broke that guarantee
 and were only caught empirically.  This package rejects the whole bug
-class statically:
+class statically — per-file determinism rules plus a project-wide pass
+that resolves the import graph and checks cross-module contracts:
 
-=====  ===================  ==============================================
-code   slug                 hazard
-=====  ===================  ==============================================
-D001   hash-builtin         builtin ``hash()`` feeding keying/scheduling
-D002   unordered-iter       set / unsorted dict-view iteration
-D003   unseeded-random      ambient global RNG, ``random.Random()``
-D004   wall-clock           wall-clock reads inside the simulation core
-D005   mutable-default      mutable default arguments
-S001   swallowed-exception  bare/silent exception handlers
-=====  ===================  ==============================================
+=====  ====================  =============================================
+code   slug                  hazard
+=====  ====================  =============================================
+D001   hash-builtin          builtin ``hash()`` feeding keying/scheduling
+D002   unordered-iter        set / unsorted dict-view iteration
+D003   unseeded-random       ambient global RNG, ``random.Random()``
+D004   wall-clock            wall-clock reads inside the simulation core
+D005   mutable-default       mutable default arguments
+D006   rng-provenance        RNG seed not derived from a parameter/spec
+S001   swallowed-exception   bare/silent exception handlers
+P001   hot-path-codec        per-packet codec work in the fast path
+C001   cache-key-fields      dataclass field missing from its trio
+C002   scheme-protocol       registered scheme misses SchemeFactory
+C003   api-exports           ``__all__`` entry without a real symbol
+X001   pool-picklability     unpicklable callable crossing the pool
+=====  ====================  =============================================
 
-Run it as ``repro lint`` (text or ``--format json``, ``--baseline``
-support), from Python via :func:`lint_paths`, or rely on the CI gate —
-``tests/lint/test_self_clean.py`` keeps ``src/repro`` at zero
-unsuppressed findings.  Deliberate exceptions carry an inline
-``# repro: allow-<slug>`` with a one-line justification.
+Run it as ``repro lint`` (text, ``--format json``, ``--format github``,
+``--baseline`` support), from Python via :func:`lint_paths`, or rely on
+the CI gate — ``tests/lint/test_self_clean.py`` keeps ``src/repro`` at
+zero unsuppressed findings.  Deliberate exceptions carry an inline
+``# repro: allow-<slug>`` with a one-line justification.  Warm runs are
+incremental: pass-1 results are cached per file by content sha256 and
+invalidated wholesale when the rule set changes.
 """
 
 from .baseline import Baseline, fingerprints_for
 from .engine import (
+    ALL_RULES as RULES,
+    ALL_RULES_BY_KEY as RULES_BY_KEY,
     Finding,
+    IncrementalCache,
     LintEngine,
     LintError,
+    default_cache_path,
     infer_module,
     lint_paths,
     mark_baselined,
+    ruleset_fingerprint,
 )
-from .report import render_json, render_text, summarize
-from .rules import RULES, RULES_BY_KEY, FileContext, Rule, SIM_MODULES
+from .project import PROJECT_RULES, Project, ProjectRule, RULESET_VERSION
+from .report import render_github, render_json, render_text, summarize
+from .rules import RULES as FILE_RULES
+from .rules import FileContext, Rule, SIM_MODULES
+from .symbols import ClassFacts, MethodFacts, ModuleFacts, collect_facts
 
 __all__ = [
     "Baseline",
+    "ClassFacts",
+    "FILE_RULES",
     "FileContext",
     "Finding",
+    "IncrementalCache",
     "LintEngine",
     "LintError",
+    "MethodFacts",
+    "ModuleFacts",
+    "PROJECT_RULES",
+    "Project",
+    "ProjectRule",
     "RULES",
+    "RULESET_VERSION",
     "RULES_BY_KEY",
     "Rule",
     "SIM_MODULES",
+    "collect_facts",
+    "default_cache_path",
     "fingerprints_for",
     "infer_module",
     "lint_paths",
     "mark_baselined",
+    "render_github",
     "render_json",
     "render_text",
+    "ruleset_fingerprint",
     "summarize",
 ]

@@ -10,7 +10,11 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Sequence
 
+from .project import PROJECT_RULES
 from .rules import RULES
+
+#: Every rule the reports document: per-file + project contract rules.
+ALL_REPORT_RULES = tuple(RULES) + tuple(PROJECT_RULES)
 
 JSON_VERSION = 1
 
@@ -73,7 +77,7 @@ def render_json(findings: Sequence, files_scanned: int) -> str:
                 "summary": rule.summary,
                 "motivation": rule.motivation,
             }
-            for rule in RULES
+            for rule in ALL_REPORT_RULES
         },
         "findings": [
             dict(f.to_dict(), fingerprint=fp)
@@ -81,3 +85,43 @@ def render_json(findings: Sequence, files_scanned: int) -> str:
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _escape_annotation(value: str) -> str:
+    """Percent-escape the characters the workflow-command parser eats."""
+    return (value.replace("%", "%25")
+                 .replace("\r", "%0D")
+                 .replace("\n", "%0A"))
+
+
+def _escape_property(value: str) -> str:
+    return (_escape_annotation(value)
+            .replace(":", "%3A")
+            .replace(",", "%2C"))
+
+
+def render_github(findings: Sequence, files_scanned: int) -> str:
+    """GitHub Actions ``::error`` workflow commands, one per active finding.
+
+    Suppressed/baselined findings are omitted — annotations exist to
+    gate PRs, not to echo the allowlist.  Ends with the same summary
+    line as the text report (as a plain line, not a command).
+    """
+    counts = summarize(findings)
+    lines: List[str] = []
+    for f in findings:
+        if not f.active:
+            continue
+        title = _escape_property(f"{f.code} [{f.rule}]")
+        lines.append(
+            f"::error file={_escape_property(f.path)},line={f.line},"
+            f"col={f.col + 1},title={title}"
+            f"::{_escape_annotation(f.message)}"
+        )
+    lines.append(
+        f"{counts['active']} finding(s) "
+        f"({counts['suppressed']} suppressed, "
+        f"{counts['baselined']} baselined) "
+        f"in {files_scanned} file(s)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""C001 negative fixture: every field is covered, or blanket-covered.
+
+``asdict(self)`` / ``cls(**data)`` / delegation to a sibling trio method
+cover all fields by construction; explicit mentions cover the rest.
+"""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    scheme: str = "tva"
+    seed: int = 1
+    topology: str = ""
+
+    def canonical(self):
+        data = asdict(self)
+        if not data["topology"]:
+            del data["topology"]
+        return data
+
+    def to_dict(self):
+        return self.canonical()
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class AuditedKnobs:
+    rate: float = 1.0
+    provenance: str = ""  # repro: allow-cache-key-fields — display-only, deliberately outside the cache key
+
+    def canonical(self):
+        return {"rate": self.rate}
+
+    def to_dict(self):
+        return {"rate": self.rate}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(rate=data["rate"])

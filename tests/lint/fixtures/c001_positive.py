@@ -1,0 +1,43 @@
+"""C001 positive fixture: dataclass fields missing from the trio.
+
+``ScenarioSpec`` here is a test-only clone of the real spec; deleting a
+field from its ``canonical()`` must produce exactly one finding, on the
+field's definition line.
+"""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    scheme: str = "tva"
+    seed: int = 1
+    aggregate: int = 0  # expect: C001
+
+    def canonical(self):
+        # 'aggregate' deliberately dropped from the cache key.
+        return {"scheme": self.scheme, "seed": self.seed}
+
+    def to_dict(self):
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CloneKnobs:
+    rate: float = 1.0
+    burst: int = 4  # expect: C001
+
+    def canonical(self):
+        return {"rate": self.rate, "burst": self.burst}
+
+    def to_dict(self):
+        # 'burst' deliberately dropped from the round-trip.
+        return {"rate": self.rate}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)

@@ -1,0 +1,57 @@
+"""C002 negative fixture: complete schemes pass, partial ones suppress."""
+
+from dataclasses import dataclass
+
+
+def register_scheme(name):
+    def deco(cls):
+        return cls
+    return deco
+
+
+class GoodScheme:
+    name = "good"
+
+    def make_qdisc(self, link): ...
+
+    def queue_limit(self): ...
+
+    def make_router_processor(self, router): ...
+
+    def make_host_shim(self, host): ...
+
+    def wire(self, net): ...
+
+    def reboot_router(self, router): ...
+
+    def metric_items(self): ...
+
+
+@register_scheme("good")
+@dataclass(frozen=True)
+class GoodKnobs:
+    def build(self) -> "GoodScheme":
+        return GoodScheme()
+
+
+class PartialScheme:
+    name = "partial"
+
+    def make_qdisc(self, link): ...
+
+    def queue_limit(self): ...
+
+    def make_router_processor(self, router): ...
+
+    def make_host_shim(self, host): ...
+
+    def wire(self, net): ...
+
+    def reboot_router(self, router): ...
+
+
+@register_scheme("partial")
+@dataclass(frozen=True)
+class PartialKnobs:  # repro: allow-scheme-protocol — metric export lands with the next migration step
+    def build(self) -> "PartialScheme":
+        return PartialScheme()

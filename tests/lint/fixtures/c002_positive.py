@@ -1,0 +1,69 @@
+"""C002 positive fixture: registered schemes that break the protocol.
+
+Dropping ``metric_items`` from a registered fixture scheme must produce
+exactly one finding, anchored on the registered knobs class and naming
+the missing member.
+"""
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+class SchemeFactory(Protocol):
+    name: str
+
+    def make_qdisc(self, link): ...
+
+    def queue_limit(self): ...
+
+    def make_router_processor(self, router): ...
+
+    def make_host_shim(self, host): ...
+
+    def wire(self, net): ...
+
+    def reboot_router(self, router): ...
+
+    def metric_items(self): ...
+
+
+def register_scheme(name):
+    def deco(cls):
+        return cls
+    return deco
+
+
+class BrokenScheme:
+    name = "broken"
+
+    def make_qdisc(self, link): ...
+
+    def queue_limit(self): ...
+
+    def make_router_processor(self, router): ...
+
+    def make_host_shim(self, host): ...
+
+    def wire(self, net): ...
+
+    def reboot_router(self, router): ...
+
+    # metric_items deliberately missing.
+
+
+class WholeScheme(BrokenScheme):
+    def metric_items(self): ...
+
+
+@register_scheme("broken")
+@dataclass(frozen=True)
+class BrokenKnobs:  # expect: C002
+    def build(self) -> "BrokenScheme":
+        return BrokenScheme()
+
+
+@register_scheme("unfrozen")
+@dataclass
+class UnfrozenKnobs:  # expect: C002
+    def build(self) -> "WholeScheme":
+        return WholeScheme()

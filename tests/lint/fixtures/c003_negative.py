@@ -1,0 +1,37 @@
+"""C003 negative fixture: every ``__all__`` entry is bound somewhere —
+defs, classes, constants, aliases, imports, even conditional bindings.
+"""
+
+import json
+from dataclasses import dataclass
+from os import path as ospath
+
+try:
+    import lzma
+    HAVE_LZMA = True
+except ImportError:
+    HAVE_LZMA = False
+
+
+@dataclass
+class Thing:
+    x: int = 0
+
+
+def helper():
+    return Thing()
+
+
+CONST = 7
+ALIAS = helper
+
+__all__ = [
+    "ALIAS",
+    "CONST",
+    "HAVE_LZMA",
+    "Thing",
+    "helper",
+    "json",
+    "lzma",
+    "ospath",
+]

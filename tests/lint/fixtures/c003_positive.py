@@ -1,0 +1,14 @@
+"""C003 positive fixture: ``__all__`` advertises a ghost symbol."""
+
+
+def real():
+    return 1
+
+
+REAL = 2
+
+__all__ = [
+    "real",
+    "REAL",
+    "ghost",  # expect: C003
+]

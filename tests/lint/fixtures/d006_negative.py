@@ -1,0 +1,37 @@
+"""D006 negative fixture: every seed derives from a parameter or spec."""
+
+import random
+
+
+def from_param(seed):
+    return random.Random(seed)
+
+
+def from_keyword(seed):
+    return random.Random(x=seed)
+
+
+def from_spec(spec):
+    return random.Random(spec.seed * 1000 + 7)
+
+
+def chained(seed):
+    base = seed + 1
+    salt = base * 3
+    return random.Random(salt)
+
+
+def from_loop(specs):
+    return [random.Random(s.seed) for s in specs]
+
+
+class Runner:
+    def __init__(self, spec):
+        self.spec = spec
+
+    def make_rng(self):
+        return random.Random(self.spec.seed)
+
+
+def sanctioned_default(rng=None):
+    return rng or random.Random(0)  # repro: allow-rng-provenance — deterministic default for standalone use

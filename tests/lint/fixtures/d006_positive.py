@@ -1,0 +1,22 @@
+"""D006 positive fixture: RNG seeds with no provenance."""
+
+import random
+import time
+
+_GLOBAL_RNG = random.Random(1234)  # expect: D006
+
+
+def fixed_seed():
+    return random.Random(42)  # expect: D006
+
+
+def wall_clock_seed():
+    return random.Random(int(time.time()))  # expect: D006
+
+
+_CACHE_RNG = None
+
+
+def warm_up(seed):
+    global _CACHE_RNG
+    _CACHE_RNG = random.Random(seed)  # expect: D006

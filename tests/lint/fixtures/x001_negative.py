@@ -1,0 +1,32 @@
+"""X001 negative fixture: only picklable callables cross the pool."""
+
+import json
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def work(x):
+    return x * 2
+
+
+def fan_out(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, items))
+
+
+def fan_out_imported(items):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(json.dumps, item) for item in items]
+
+
+def threads_may_take_lambdas(items):
+    # Thread pools share the address space; nothing is pickled.
+    with ThreadPoolExecutor() as pool:
+        return list(pool.map(lambda x: x + 1, items))
+
+
+def sanctioned(items):
+    with ProcessPoolExecutor() as pool:
+        return [
+            pool.submit(lambda x: x, item)  # repro: allow-pool-picklability — exercising the suppression path
+            for item in items
+        ]

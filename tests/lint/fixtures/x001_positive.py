@@ -1,0 +1,27 @@
+"""X001 positive fixture: unpicklable callables crossing the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(items):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(lambda x: x * 2, item) for item in items]  # expect: X001
+
+
+def fan_out_closure(items, scale):
+    def work(x):
+        return x * scale
+
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(work, items))  # expect: X001
+
+
+class Sweeper:
+    def run(self, items):
+        pool = ProcessPoolExecutor()
+        futures = [pool.submit(self._one, item) for item in items]  # expect: X001
+        pool.shutdown()
+        return futures
+
+    def _one(self, item):
+        return item

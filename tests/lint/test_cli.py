@@ -90,3 +90,56 @@ def test_missing_path_is_usage_error(capsys):
 def test_show_suppressed_lists_annotated_sites(capsys):
     assert main(["lint", NEGATIVE, "--show-suppressed"]) == 0
     assert "(suppressed)" in capsys.readouterr().out
+
+
+def test_github_format_emits_error_annotations(capsys):
+    assert main(["lint", POSITIVE, "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    lines = [ln for ln in out.splitlines() if ln.startswith("::error ")]
+    assert len(lines) == 3
+    assert all("file=" in ln and "line=" in ln and "col=" in ln
+               for ln in lines)
+    assert "D001" in lines[0]
+
+
+def test_github_format_omits_suppressed(capsys):
+    assert main(["lint", NEGATIVE, "--format", "github"]) == 0
+    out = capsys.readouterr().out
+    assert "::error" not in out
+    assert "0 finding(s)" in out
+
+
+def test_select_family(capsys):
+    # d001_positive has only D-family findings; the C family is clean.
+    assert main(["lint", POSITIVE, "--select", "C"]) == 0
+    assert main(["lint", POSITIVE, "--select", "D"]) == 1
+
+
+def test_unknown_family_is_usage_error(capsys):
+    assert main(["lint", POSITIVE, "--select", "Q"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule family" in err
+    assert "known families" in err
+
+
+def test_exclude_skips_subtree(capsys):
+    # Excluding the fixtures dir while linting it leaves zero files.
+    assert main(["lint", str(FIXTURES), "--exclude", str(FIXTURES)]) == 0
+    assert "0 file(s)" in capsys.readouterr().out
+
+
+def test_incremental_cache_round_trip(tmp_path, capsys):
+    cache = tmp_path / "cache.json"
+    assert main(["lint", POSITIVE, "--cache-file", str(cache)]) == 1
+    cold = capsys.readouterr().out
+    assert cache.exists()
+    assert main(["lint", POSITIVE, "--cache-file", str(cache)]) == 1
+    warm = capsys.readouterr().out
+    assert cold == warm
+
+
+def test_no_incremental_skips_cache_file(tmp_path, capsys):
+    cache = tmp_path / "cache.json"
+    assert main(["lint", POSITIVE, "--no-incremental",
+                 "--cache-file", str(cache)]) == 1
+    assert not cache.exists()

@@ -1,0 +1,171 @@
+"""Unit tests for the intra-procedural dataflow analyses (D006/X001)."""
+
+import ast
+
+from repro.lint.dataflow import pool_picklability, rng_provenance
+
+
+def rng_lines(source):
+    return [f.line for f in rng_provenance(ast.parse(source))]
+
+
+def pool_lines(source):
+    return [f.line for f in pool_picklability(ast.parse(source))]
+
+
+class TestRngProvenance:
+    def test_module_global_rng_flagged(self):
+        assert rng_lines(
+            "import random\n"
+            "RNG = random.Random(7)\n") == [2]
+
+    def test_class_attribute_rng_flagged(self):
+        assert rng_lines(
+            "import random\n"
+            "class C:\n"
+            "    rng = random.Random(7)\n") == [3]
+
+    def test_literal_seed_in_function_flagged(self):
+        assert rng_lines(
+            "import random\n"
+            "def f():\n"
+            "    return random.Random(42)\n") == [3]
+
+    def test_param_seed_is_clean(self):
+        assert rng_lines(
+            "import random\n"
+            "def f(seed):\n"
+            "    return random.Random(seed)\n") == []
+
+    def test_derivation_chain_is_clean(self):
+        assert rng_lines(
+            "import random\n"
+            "def f(seed):\n"
+            "    a = seed + 1\n"
+            "    b = a * 3\n"
+            "    return random.Random(b)\n") == []
+
+    def test_spec_attribute_is_clean(self):
+        assert rng_lines(
+            "import random\n"
+            "def f(spec):\n"
+            "    return random.Random(spec.seed * 1000)\n") == []
+
+    def test_self_attribute_is_clean(self):
+        assert rng_lines(
+            "import random\n"
+            "class C:\n"
+            "    def f(self):\n"
+            "        return random.Random(self.seed)\n") == []
+
+    def test_comprehension_binding_derives(self):
+        assert rng_lines(
+            "import random\n"
+            "def f(specs):\n"
+            "    return [random.Random(s.seed) for s in specs]\n") == []
+
+    def test_global_store_flagged_even_with_derived_seed(self):
+        assert rng_lines(
+            "import random\n"
+            "_R = None\n"
+            "def f(seed):\n"
+            "    global _R\n"
+            "    _R = random.Random(seed)\n") == [5]
+
+    def test_no_arg_random_is_d003_territory(self):
+        assert rng_lines(
+            "import random\n"
+            "def f():\n"
+            "    return random.Random()\n") == []
+
+    def test_from_import_alias(self):
+        assert rng_lines(
+            "from random import Random as R\n"
+            "def f():\n"
+            "    return R(13)\n") == [3]
+
+    def test_nested_function_inherits_derivation(self):
+        assert rng_lines(
+            "import random\n"
+            "def outer(seed):\n"
+            "    base = seed * 2\n"
+            "    def inner():\n"
+            "        return random.Random(base)\n"
+            "    return inner\n") == []
+
+    def test_no_random_import_short_circuits(self):
+        assert rng_lines("def f():\n    return Random(1)\n") == []
+
+
+class TestPoolPicklability:
+    def test_lambda_to_submit(self):
+        assert pool_lines(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def f(xs):\n"
+            "    with ProcessPoolExecutor() as p:\n"
+            "        return [p.submit(lambda x: x, i) for i in xs]\n"
+        ) == [4]
+
+    def test_closure_to_map(self):
+        assert pool_lines(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def f(xs, k):\n"
+            "    def work(x):\n"
+            "        return x * k\n"
+            "    with ProcessPoolExecutor() as p:\n"
+            "        return list(p.map(work, xs))\n") == [6]
+
+    def test_bound_method(self):
+        assert pool_lines(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "class S:\n"
+            "    def run(self, xs):\n"
+            "        p = ProcessPoolExecutor()\n"
+            "        return [p.submit(self._one, x) for x in xs]\n"
+        ) == [5]
+
+    def test_module_function_is_clean(self):
+        assert pool_lines(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def work(x):\n"
+            "    return x\n"
+            "def f(xs):\n"
+            "    with ProcessPoolExecutor() as p:\n"
+            "        return list(p.map(work, xs))\n") == []
+
+    def test_imported_callable_is_clean(self):
+        assert pool_lines(
+            "import json\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def f(xs):\n"
+            "    with ProcessPoolExecutor() as p:\n"
+            "        return [p.submit(json.dumps, x) for x in xs]\n"
+        ) == []
+
+    def test_thread_pool_is_out_of_scope(self):
+        assert pool_lines(
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "def f(xs):\n"
+            "    with ThreadPoolExecutor() as p:\n"
+            "        return list(p.map(lambda x: x, xs))\n") == []
+
+    def test_dotted_constructor(self):
+        assert pool_lines(
+            "import concurrent.futures\n"
+            "def f(xs):\n"
+            "    p = concurrent.futures.ProcessPoolExecutor()\n"
+            "    return [p.submit(lambda x: x, i) for i in xs]\n") == [4]
+
+    def test_annotated_parameter_counts_as_executor(self):
+        assert pool_lines(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def f(pool: ProcessPoolExecutor, xs):\n"
+            "    return [pool.submit(lambda x: x, i) for i in xs]\n"
+        ) == [3]
+
+    def test_direct_ctor_receiver(self):
+        assert pool_lines(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def f(xs):\n"
+            "    return ProcessPoolExecutor().map(lambda x: x, xs)\n"
+        ) == [3]

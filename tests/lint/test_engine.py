@@ -104,6 +104,28 @@ class TestSelection:
         with pytest.raises(LintError, match="unknown rule"):
             LintEngine(select=["D999"])
 
+    def test_select_family_letter(self):
+        engine = LintEngine(select=["C"])
+        assert sorted(r.code for r in engine.rules) == \
+            ["C001", "C002", "C003"]
+
+    def test_select_family_mixed_with_code(self):
+        engine = LintEngine(select=["D", "X001"])
+        codes = sorted(r.code for r in engine.rules)
+        assert "X001" in codes
+        assert all(c.startswith(("D", "X")) for c in codes)
+        assert "D001" in codes and "D006" in codes
+
+    def test_family_is_case_insensitive(self):
+        assert sorted(r.code for r in LintEngine(select=["c"]).rules) == \
+            sorted(r.code for r in LintEngine(select=["C"]).rules)
+
+    def test_unknown_family_names_families(self):
+        with pytest.raises(LintError, match="unknown rule family"):
+            LintEngine(select=["Q"])
+        with pytest.raises(LintError, match="known families"):
+            LintEngine(select=["Q"])
+
 
 class TestPaths:
     def test_syntax_error_raises(self):
@@ -131,6 +153,25 @@ class TestPaths:
                                FIXTURES / "d001_positive.py"])
         assert n1 == n2 == 1
         assert len(one) == len(both)
+
+
+class TestSuppressionTokenizeFallback:
+    def test_unterminated_string_falls_back_to_regex(self):
+        # tokenize raises TokenError on the unterminated triple-quote;
+        # the regex fallback must still collect the allow- comment.
+        from repro.lint.engine import _suppressions
+
+        src = ('x = hash(y)  # repro: allow-D001 — note\n'
+               's = """unterminated\n')
+        assert _suppressions(src) == {1: {"d001"}}
+
+    def test_fallback_handles_multiple_comments(self):
+        from repro.lint.engine import _suppressions
+
+        src = ('# repro: allow-hash-builtin,unordered-iter — both\n'
+               'x = 1\n'
+               'bad = """\n')
+        assert _suppressions(src)[1] == {"hash-builtin", "unordered-iter"}
 
 
 def test_finding_to_dict_roundtrip_fields():

@@ -1,8 +1,15 @@
 """Report formats: the JSON schema contract and the text rendering."""
 
 import json
+from dataclasses import replace
 
-from repro.lint import RULES, LintEngine, render_json, render_text
+from repro.lint import (
+    RULES,
+    LintEngine,
+    render_github,
+    render_json,
+    render_text,
+)
 
 DIRTY = ("def f(x):\n"
          "    return hash(x)\n"
@@ -81,3 +88,35 @@ class TestText:
     def test_clean_summary(self):
         text = render_text([], files_scanned=3)
         assert text == "0 finding(s) (0 suppressed, 0 baselined) in 3 file(s)"
+
+
+class TestGithub:
+    def test_one_annotation_per_active_finding(self):
+        text = render_github(lint(), files_scanned=1)
+        lines = text.splitlines()
+        # One active finding (the second is suppressed), plus summary.
+        assert len(lines) == 2
+        assert lines[0].startswith("::error file=pkg/mod.py,line=2,col=12,")
+        assert "title=D001 [hash-builtin]" in lines[0].replace("%3A", ":")
+        assert lines[1] == \
+            "1 finding(s) (1 suppressed, 0 baselined) in 1 file(s)"
+
+    def test_suppressed_findings_are_omitted(self):
+        clean = ("def g(x):\n"
+                 "    return hash(x)  # repro: allow-hash-builtin — why\n")
+        text = render_github(lint(clean), files_scanned=1)
+        assert "::error" not in text
+        assert text.startswith("0 finding(s)")
+
+    def test_message_newlines_and_percent_escaped(self):
+        (finding,) = lint("def f(x):\n    return hash(x)\n")
+        finding = replace(finding, message="100% bad\nsecond line")
+        text = render_github([finding], files_scanned=1)
+        annotation = text.splitlines()[0]
+        assert annotation.endswith("::100%25 bad%0Asecond line")
+
+    def test_commas_in_path_escaped(self):
+        (finding,) = lint("def f(x):\n    return hash(x)\n")
+        finding = replace(finding, path="odd,dir/mod.py")
+        text = render_github([finding], files_scanned=1)
+        assert "file=odd%2Cdir/mod.py," in text

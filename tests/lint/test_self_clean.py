@@ -35,6 +35,11 @@ def test_deliberate_sites_are_annotated_not_silent():
     assert ("runner.py", "D001") in suppressed
     assert ("crypto.py", "P001") in suppressed
     assert ("bits.py", "P001") in suppressed
-    assert len([f for f in findings if f.suppressed]) <= 12, (
+    # The rng-or-default idiom in host/scheme constructors is the one
+    # sanctioned D006 exception: sweeps always inject a spec-derived rng.
+    assert ("host.py", "D006") in suppressed
+    assert ("siff.py", "D006") in suppressed
+    assert ("netfence.py", "D006") in suppressed
+    assert len([f for f in findings if f.suppressed]) <= 15, (
         "suppression count crept up — audit the new allow- annotations"
     )
