@@ -447,7 +447,7 @@ class NetFenceHostShim(HostShim):
         fb = self._to_echo.get(peer)
         if fb is None:
             return
-        pkt = Packet(
+        pkt = self.host.sim.alloc_packet(
             src=self.host.address, dst=peer, size=40 + NETFENCE_HEADER_BYTES,
             proto=NF_CTL_PROTO, created=self.host.sim.now,
         )

@@ -247,7 +247,7 @@ class SiffHostShim(HostShim):
         # TCP flows piggyback their grant on the SYN/ACK within one RTT.
         if (peer, None) not in self._grant_to_send:
             return
-        pkt = Packet(
+        pkt = self.host.sim.alloc_packet(
             src=self.host.address,
             dst=peer,
             size=40,

@@ -444,8 +444,11 @@ def _cmd_bench(args) -> int:
 
     from .perf.harness import (
         check_opcount_guard,
+        compare_reports,
         load_guard,
+        load_report,
         run_bench,
+        scaling_table,
         write_bench_report,
         write_guard,
     )
@@ -458,20 +461,42 @@ def _cmd_bench(args) -> int:
     report = run_bench(quick=args.quick)
     write_bench_report(report, args.output)
     print(report.table())
+    print("\nscaling (events/sec, pkts/sec vs topology size):")
+    print(scaling_table(report))
     print(f"\nwrote {args.output}")
 
+    compare_failed = False
+    if args.compare:
+        try:
+            table, regressions = compare_reports(
+                report, load_report(args.compare)
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"\ncompare vs {args.compare}:")
+        print(table)
+        if regressions:
+            compare_failed = True
+            print("\nop-count regressions vs old report:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+        else:
+            print("no op-count regressions vs old report")
+
     guard_path = Path(args.guard)
+    fail = 1 if compare_failed else 0
     if args.update_guard:
         write_guard(report, guard_path)
         print(f"updated op-count guard {guard_path}")
-        return 0
+        return fail
     if not args.quick:
         print("(op-count guard skipped: it records quick-mode counts)")
-        return 0
+        return fail
     if not guard_path.exists():
         print(f"(no op-count guard at {guard_path}; "
               "create one with --update-guard)")
-        return 0
+        return fail
     try:
         problems = check_opcount_guard(report, load_guard(guard_path))
     except (OSError, ValueError) as exc:
@@ -485,7 +510,7 @@ def _cmd_bench(args) -> int:
               "repro bench --quick --update-guard", file=sys.stderr)
         return 1
     print(f"op-count guard OK ({guard_path})")
-    return 0
+    return fail
 
 
 def _parse_shard_arg(value: str):
@@ -865,6 +890,10 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--update-guard", action="store_true",
                     help="rewrite the guard from this run instead of "
                          "checking it (requires --quick)")
+    pb.add_argument("--compare", default=None, metavar="OLD.json",
+                    help="print a speedup/op-delta table against a prior "
+                         "report (same mode); exits non-zero on op-count "
+                         "regressions")
     pb.set_defaults(fn=_cmd_bench)
 
     ps = sub.add_parser("scenario",

@@ -335,13 +335,13 @@ class TvaHostShim(HostShim):
     # Control packets: deliver grants/demote echoes with no transport ride
     # ------------------------------------------------------------------
     def _schedule_control(self, peer: int) -> None:
-        self.host.sim.after(CONTROL_REPLY_DELAY, self._maybe_send_control, peer)
+        self.host.sim.call_after(CONTROL_REPLY_DELAY, self._maybe_send_control, peer)
 
     def _maybe_send_control(self, peer: int) -> None:
         dest = self._dest.get(peer)
         if dest is None or (dest.grant_info is None and not dest.demote_echo):
             return  # already piggybacked on a transport packet
-        pkt = Packet(
+        pkt = self.host.sim.alloc_packet(
             src=self.host.address,
             dst=peer,
             size=CONTROL_PACKET_SIZE,

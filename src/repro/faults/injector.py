@@ -61,7 +61,7 @@ class FaultInjector:
             elif isinstance(ev, RouterReboot):
                 self._resolve_router(ev.router)
         for ev in self.schedule:
-            sim.at(ev.at, self._fire, ev)
+            sim.call_at(ev.at, self._fire, ev)
 
     def _resolve_links(self, name: str) -> List["Link"]:
         try:

@@ -178,6 +178,16 @@ def _workload_topo_fattree(quick: bool) -> None:
     )
 
 
+def _workload_flood10k(quick: bool) -> None:
+    """Topology scaling, point 4: the curated ``flood-10k`` scenario —
+    10^4 aggregated flood sources against one victim link, the regime
+    ROADMAP item 2 targets.  Quick mode shortens the simulated horizon
+    only; the topology (and hence the per-second shape) is identical."""
+    from ..scenarios import get_scenario
+
+    run_spec(get_scenario("flood-10k").spec(duration=1.0 if quick else None))
+
+
 #: name -> workload, in report order.
 WORKLOADS: Dict[str, Callable[[bool], None]] = {
     "fig8_e2e": _workload_fig8,
@@ -188,6 +198,17 @@ WORKLOADS: Dict[str, Callable[[bool], None]] = {
     "topo_dumbbell": _workload_topo_dumbbell,
     "topo_tree": _workload_topo_tree,
     "topo_fattree": _workload_topo_fattree,
+    "flood_10k": _workload_flood10k,
+}
+
+#: The ``scaling`` view: workload -> (hosts, simulated seconds) per mode,
+#: in ascending topology size.  Derived throughput (events/sec, pkts/sec)
+#: comes from the same measured results the main table reports.
+SCALING_POINTS: Dict[str, Dict[str, float]] = {
+    "topo_dumbbell": {"hosts": 22, "quick_duration": 2.0, "duration": 6.0},
+    "topo_tree": {"hosts": 247, "quick_duration": 2.0, "duration": 6.0},
+    "topo_fattree": {"hosts": 358, "quick_duration": 2.0, "duration": 6.0},
+    "flood_10k": {"hosts": 10009, "quick_duration": 1.0, "duration": 5.0},
 }
 
 
@@ -290,6 +311,109 @@ def load_guard(path) -> dict:
             "regenerate with: repro bench --quick --update-guard"
         )
     return data
+
+
+def scaling_table(report: BenchReport) -> str:
+    """The ``scaling`` view: throughput vs. topology size.
+
+    Events/sec and pkts/sec (queue dequeues — one per transmitted
+    packet) are derived from the same measured workload results as the
+    main table, over the dumbbell → tree → fat-tree → flood-10k size
+    ladder.  Wall-clock throughput is host-dependent and informational;
+    the underlying op counts are what the guard pins."""
+    by_name = {r.name: r for r in report.results}
+    lines = [
+        f"{'scaling point':14s} {'hosts':>6s} {'sim (s)':>8s} "
+        f"{'wall (s)':>9s} {'events':>9s} {'events/s':>10s} "
+        f"{'pkts':>8s} {'pkts/s':>9s}"
+    ]
+    # repro: allow-d002 — literal dict; declaration order IS the size ladder
+    for name, point in SCALING_POINTS.items():
+        r = by_name.get(name)
+        if r is None:
+            continue
+        sim_s = point["quick_duration"] if report.quick else point["duration"]
+        ops = r.op_counts
+        wall = r.wall_seconds
+        pkts = ops.dequeues
+        lines.append(
+            f"{name:14s} {int(point['hosts']):6d} {sim_s:8.1f} "
+            f"{wall:9.3f} {ops.events_fired:9d} "
+            f"{ops.events_fired / wall:10.0f} "
+            f"{pkts:8d} {pkts / wall:9.0f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Before/after comparison (``repro bench --compare OLD.json``)
+# ---------------------------------------------------------------------------
+
+def load_report(path) -> dict:
+    """Load a previously written ``BENCH_perf.json``."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"report schema {data.get('schema')!r} != {SCHEMA!r}"
+        )
+    return data
+
+
+def compare_reports(report: BenchReport, old: dict) -> Tuple[str, List[str]]:
+    """Per-workload speedup/op-delta table against a prior report.
+
+    Returns ``(table, regressions)``.  Speedup is informational
+    (``old_wall / new_wall``; host noise applies); *regressions* are
+    op-count increases or missing workloads — found by running the guard
+    comparator over the old report's op counts and keeping only the
+    deltas that grew.  Workloads only present on one side are listed in
+    the table; ones the old report lacks are never regressions (they are
+    new coverage)."""
+    if bool(old.get("quick")) != report.quick:
+        raise ValueError(
+            f"old report was quick={old.get('quick')} but this run is "
+            f"quick={report.quick}; compare like modes"
+        )
+    old_workloads = old.get("workloads", {})
+    lines = [
+        f"{'workload':14s} {'old (s)':>9s} {'new (s)':>9s} "
+        f"{'speedup':>8s} {'Δevents':>9s} {'Δqueue ops':>11s} "
+        f"{'Δhashes':>9s}"
+    ]
+    for r in report.results:
+        prev = old_workloads.get(r.name)
+        if prev is None:
+            lines.append(f"{r.name:14s} {'-':>9s} {r.wall_seconds:9.3f} "
+                         f"{'new':>8s}")
+            continue
+        old_wall = float(prev.get("wall_seconds", 0.0))
+        old_ops = OpCounts.from_dict(prev.get("op_counts", {}))
+        ops = r.op_counts
+        speedup = old_wall / r.wall_seconds if r.wall_seconds > 0 else 0.0
+        d_events = ops.events_fired - old_ops.events_fired
+        d_queue = (ops.enqueues + ops.dequeues) - (
+            old_ops.enqueues + old_ops.dequeues
+        )
+        d_hashes = ops.hashes - old_ops.hashes
+        lines.append(
+            f"{r.name:14s} {old_wall:9.3f} {r.wall_seconds:9.3f} "
+            f"{speedup:7.2f}x {d_events:+9d} {d_queue:+11d} {d_hashes:+9d}"
+        )
+    # Regressions via the guard comparator: treat the old report's op
+    # counts as the guard and keep only the deltas that increased.
+    pseudo_guard = {
+        "quick": old.get("quick"),
+        "workloads": {
+            name: dict(data.get("op_counts", {}))
+            for name, data in sorted(old_workloads.items())
+        },
+    }
+    regressions = [
+        line
+        for line in check_opcount_guard(report, pseudo_guard)
+        if "(+" in line or "missing" in line
+    ]
+    return "\n".join(lines), regressions
 
 
 def check_opcount_guard(report: BenchReport, guard: dict) -> List[str]:

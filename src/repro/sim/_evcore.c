@@ -1,0 +1,280 @@
+/* Accelerated event-loop core for repro.sim.engine_fast.
+ *
+ * One exported function, run(sim, heap, limit, fire_cap), executes the
+ * inner loop of Simulator.run() in C: pop the earliest heap entry,
+ * advance the clock, invoke the callback.  Everything else — scheduling,
+ * cancellation, compaction, the packet pool — stays in Python and keeps
+ * operating on the very same heap list, so semantics (and therefore
+ * every golden RunResult) are identical to the pure-Python loop:
+ *
+ *   - entries are (time, seq, event) 3-tuples or (time, seq, fn, args)
+ *     4-tuples; ordering compares (time, seq) only and seq is unique,
+ *     exactly like heapq over these tuples;
+ *   - cancelled 3-tuple events are skipped without counting as
+ *     processed, decrementing sim._cancelled_in_heap;
+ *   - sim.now is assigned the entry's own time object (no float
+ *     round-trip), sim._live is decremented per fired event, and
+ *     sim._stopped is honoured between events;
+ *   - on a callback exception the loop stores the number of events it
+ *     fired in sim._c_processed and propagates the exception, so the
+ *     wrapper can keep its counters exact.
+ *
+ * Compaction can run inside a callback (via cancel); it rebuilds the
+ * heap list *in place*, so re-reading the list each iteration is safe.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+static PyObject *str_now, *str_live, *str_stopped, *str_cih;
+static PyObject *str_cancelled, *str_fired, *str_fn, *str_args;
+static PyObject *str_cproc;
+
+/* (time, seq) ordering over heap entry tuples; -1 on error. */
+static int
+entry_lt(PyObject *a, PyObject *b)
+{
+    PyObject *ta = PyTuple_GET_ITEM(a, 0);
+    PyObject *tb = PyTuple_GET_ITEM(b, 0);
+    double fa, fb;
+    if (PyFloat_CheckExact(ta)) {
+        fa = PyFloat_AS_DOUBLE(ta);
+    } else {
+        fa = PyFloat_AsDouble(ta);
+        if (fa == -1.0 && PyErr_Occurred())
+            return -1;
+    }
+    if (PyFloat_CheckExact(tb)) {
+        fb = PyFloat_AS_DOUBLE(tb);
+    } else {
+        fb = PyFloat_AsDouble(tb);
+        if (fb == -1.0 && PyErr_Occurred())
+            return -1;
+    }
+    if (fa != fb)
+        return fa < fb;
+    {
+        long long sa = PyLong_AsLongLong(PyTuple_GET_ITEM(a, 1));
+        if (sa == -1 && PyErr_Occurred())
+            return -1;
+        long long sb = PyLong_AsLongLong(PyTuple_GET_ITEM(b, 1));
+        if (sb == -1 && PyErr_Occurred())
+            return -1;
+        return sa < sb;
+    }
+}
+
+/* heapq.heappop over a list of entry tuples; returns a new reference. */
+static PyObject *
+heap_pop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    PyObject *min = PyList_GET_ITEM(heap, 0);
+    Py_INCREF(min);
+    PyObject *last = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(min);
+        Py_DECREF(last);
+        return NULL;
+    }
+    n -= 1;
+    if (n == 0) {
+        Py_DECREF(last);
+        return min;
+    }
+    /* Sift the old tail down from the root. */
+    Py_ssize_t pos = 0;
+    for (;;) {
+        Py_ssize_t child = 2 * pos + 1;
+        if (child >= n)
+            break;
+        Py_ssize_t right = child + 1;
+        int lt;
+        if (right < n) {
+            lt = entry_lt(PyList_GET_ITEM(heap, right),
+                          PyList_GET_ITEM(heap, child));
+            if (lt < 0)
+                goto fail;
+            if (lt)
+                child = right;
+        }
+        PyObject *c = PyList_GET_ITEM(heap, child);
+        lt = entry_lt(c, last);
+        if (lt < 0)
+            goto fail;
+        if (!lt)
+            break;
+        Py_INCREF(c);
+        PyList_SetItem(heap, pos, c); /* steals c, releases old slot ref */
+        pos = child;
+    }
+    PyList_SetItem(heap, pos, last); /* steals last */
+    return min;
+fail:
+    Py_DECREF(min);
+    Py_DECREF(last);
+    return NULL;
+}
+
+/* attr += delta for small-int instance attributes (_live, _cancelled_in_heap). */
+static int
+attr_add(PyObject *obj, PyObject *name, long delta)
+{
+    PyObject *cur = PyObject_GetAttr(obj, name);
+    if (cur == NULL)
+        return -1;
+    long v = PyLong_AsLong(cur);
+    Py_DECREF(cur);
+    if (v == -1 && PyErr_Occurred())
+        return -1;
+    PyObject *nv = PyLong_FromLong(v + delta);
+    if (nv == NULL)
+        return -1;
+    int rc = PyObject_SetAttr(obj, name, nv);
+    Py_DECREF(nv);
+    return rc;
+}
+
+static PyObject *
+evcore_run(PyObject *self, PyObject *args)
+{
+    PyObject *sim, *heap;
+    double limit, fire_cap;
+    if (!PyArg_ParseTuple(args, "OOdd", &sim, &heap, &limit, &fire_cap))
+        return NULL;
+    if (!PyList_CheckExact(heap)) {
+        PyErr_SetString(PyExc_TypeError, "heap must be a list");
+        return NULL;
+    }
+    long processed = 0;
+    while (PyList_GET_SIZE(heap) > 0) {
+        PyObject *stopped = PyObject_GetAttr(sim, str_stopped);
+        if (stopped == NULL)
+            goto fail;
+        int st = PyObject_IsTrue(stopped);
+        Py_DECREF(stopped);
+        if (st < 0)
+            goto fail;
+        if (st)
+            break;
+        PyObject *head = PyList_GET_ITEM(heap, 0); /* borrowed */
+        PyObject *tobj = PyTuple_GET_ITEM(head, 0);
+        double etime;
+        if (PyFloat_CheckExact(tobj)) {
+            etime = PyFloat_AS_DOUBLE(tobj);
+        } else {
+            etime = PyFloat_AsDouble(tobj);
+            if (etime == -1.0 && PyErr_Occurred())
+                goto fail;
+        }
+        if (etime > limit)
+            break;
+        PyObject *entry = heap_pop(heap);
+        if (entry == NULL)
+            goto fail;
+        tobj = PyTuple_GET_ITEM(entry, 0);
+        if (PyTuple_GET_SIZE(entry) == 4) {
+            /* Fire-and-forget entry from call_after/call_at. */
+            if (attr_add(sim, str_live, -1) < 0 ||
+                PyObject_SetAttr(sim, str_now, tobj) < 0) {
+                Py_DECREF(entry);
+                goto fail;
+            }
+            PyObject *res = PyObject_CallObject(PyTuple_GET_ITEM(entry, 2),
+                                                PyTuple_GET_ITEM(entry, 3));
+            Py_DECREF(entry);
+            if (res == NULL)
+                goto fail;
+            Py_DECREF(res);
+        } else {
+            PyObject *event = PyTuple_GET_ITEM(entry, 2);
+            PyObject *cobj = PyObject_GetAttr(event, str_cancelled);
+            if (cobj == NULL) {
+                Py_DECREF(entry);
+                goto fail;
+            }
+            int cancelled = PyObject_IsTrue(cobj);
+            Py_DECREF(cobj);
+            if (cancelled < 0) {
+                Py_DECREF(entry);
+                goto fail;
+            }
+            if (cancelled) {
+                int rc = attr_add(sim, str_cih, -1);
+                Py_DECREF(entry);
+                if (rc < 0)
+                    goto fail;
+                continue;
+            }
+            if (PyObject_SetAttr(event, str_fired, Py_True) < 0 ||
+                attr_add(sim, str_live, -1) < 0 ||
+                PyObject_SetAttr(sim, str_now, tobj) < 0) {
+                Py_DECREF(entry);
+                goto fail;
+            }
+            PyObject *fn = PyObject_GetAttr(event, str_fn);
+            PyObject *fnargs = fn ? PyObject_GetAttr(event, str_args) : NULL;
+            if (fnargs == NULL) {
+                Py_XDECREF(fn);
+                Py_DECREF(entry);
+                goto fail;
+            }
+            PyObject *res = PyObject_CallObject(fn, fnargs);
+            Py_DECREF(fn);
+            Py_DECREF(fnargs);
+            Py_DECREF(entry);
+            if (res == NULL)
+                goto fail;
+            Py_DECREF(res);
+        }
+        processed += 1;
+        if ((double)processed >= fire_cap)
+            break;
+    }
+    return PyLong_FromLong(processed);
+fail:
+    /* Best-effort: expose the partial count so the wrapper's finally
+     * block keeps events_processed/PERF exact; never mask the original
+     * exception. */
+    {
+        PyObject *etype, *evalue, *etb;
+        PyErr_Fetch(&etype, &evalue, &etb);
+        PyObject *nproc = PyLong_FromLong(processed);
+        if (nproc != NULL) {
+            PyObject_SetAttr(sim, str_cproc, nproc);
+            Py_DECREF(nproc);
+        }
+        PyErr_Restore(etype, evalue, etb);
+    }
+    return NULL;
+}
+
+static PyMethodDef evcore_methods[] = {
+    {"run", evcore_run, METH_VARARGS,
+     "run(sim, heap, limit, fire_cap) -> events processed"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef evcore_module = {
+    PyModuleDef_HEAD_INIT, "_evcore",
+    "C inner loop for repro.sim.engine_fast", -1, evcore_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__evcore(void)
+{
+    str_now = PyUnicode_InternFromString("now");
+    str_live = PyUnicode_InternFromString("_live");
+    str_stopped = PyUnicode_InternFromString("_stopped");
+    str_cih = PyUnicode_InternFromString("_cancelled_in_heap");
+    str_cancelled = PyUnicode_InternFromString("cancelled");
+    str_fired = PyUnicode_InternFromString("fired");
+    str_fn = PyUnicode_InternFromString("fn");
+    str_args = PyUnicode_InternFromString("args");
+    str_cproc = PyUnicode_InternFromString("_c_processed");
+    if (!str_now || !str_live || !str_stopped || !str_cih || !str_cancelled ||
+        !str_fired || !str_fn || !str_args || !str_cproc)
+        return NULL;
+    return PyModule_Create(&evcore_module);
+}

@@ -37,6 +37,7 @@ import itertools
 from typing import Any, Callable, List, Optional
 
 from ..perf.counters import PERF
+from .packet import Packet, PacketPool
 
 #: Compaction threshold, mirroring ``FlowStateTable``: never bother below
 #: this many heap entries, and above it rebuild once cancelled entries
@@ -113,6 +114,42 @@ class Simulator:
         self._cancelled_in_heap = 0
         self._running = False
         self._stopped = False
+        # Packet identity and recycling are simulator-owned: uids count
+        # from 1 per run (never from whatever earlier in-process runs
+        # left behind) and released packets are reused via the pool.
+        self._packet_uid = itertools.count(1)
+        self._pool = PacketPool()
+
+    # ------------------------------------------------------------------
+    # Packet allocation
+    # ------------------------------------------------------------------
+    def alloc_packet(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        proto: str = "raw",
+        tcp: Any = None,
+        shim: Any = None,
+        created: float = 0.0,
+    ) -> Packet:
+        """Allocate a :class:`Packet` with a run-local uid, recycling a
+        released one when available.  The data path allocates through
+        this (not ``Packet(...)``) so uid sequences are identical across
+        back-to-back runs in one process and allocation churn is bounded
+        by the peak number of packets alive, not the total sent."""
+        pool = self._pool
+        if pool._free:
+            PERF.pool_reuses += 1
+        return pool.acquire(
+            next(self._packet_uid), src, dst, size, proto, tcp, shim, created
+        )
+
+    def release_packet(self, pkt: Packet) -> None:
+        """Return a dead packet to the pool.  Only terminal owners call
+        this (see :class:`~repro.sim.packet.PacketPool` ownership rules);
+        not releasing is always safe, merely slower."""
+        self._pool.release(pkt)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -158,6 +195,22 @@ class Simulator:
         heapq.heappush(
             self._heap, (self.now + delay, next(self._seq), fn, args)
         )
+        self._live += 1
+        PERF.events_scheduled += 1
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`at`: absolute-time twin of
+        :meth:`call_after`.
+
+        Burst-batched links schedule per-packet deliveries at precomputed
+        absolute boundaries; going through ``call_after`` would round the
+        relative delay and shift timestamps by an ulp relative to the
+        reference one-event-per-packet schedule."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, current time is {self.now:.6f}"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), fn, args))
         self._live += 1
         PERF.events_scheduled += 1
 

@@ -1,0 +1,198 @@
+"""Opt-in accelerated event core (the ROADMAP "accelerated kernel").
+
+The default :class:`~repro.sim.engine.Simulator` already keeps its inner
+loop tight, but every pop/dispatch still runs as interpreted bytecode.
+This module compiles that loop to C (``_evcore.c``, built on demand with
+the toolchain's C compiler) and wraps it in :class:`FastSimulator`, a
+drop-in subclass whose :meth:`~FastSimulator.run` hands the heap to the
+compiled core.  Scheduling, cancellation, heap compaction, and the
+packet pool stay in Python and operate on the same heap list, so event
+order — and therefore every golden ``RunResult`` — is bit-identical to
+the default engine (the parity tests in ``tests/sim/test_engine_fast.py``
+assert full ``RunResult`` equality across all registered schemes).
+
+Selection is a knob, not an import: build a simulator through
+:func:`make_simulator` (``ExperimentConfig.engine`` feeds it) and the
+accelerated core is used only when explicitly requested *and* actually
+available.  When the core cannot be built — no C compiler, no Python
+headers, or ``REPRO_NO_ENGINE_FAST=1`` (the tests' force-fallback hook)
+— ``make_simulator("fast")`` quietly returns the default engine: the
+knob is a request, never a requirement, and results do not depend on it.
+
+The compiled object lands in ``<repo>/build/evcore`` (never inside the
+package) and is rebuilt whenever ``_evcore.c`` is newer.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..perf.counters import PERF
+from .engine import Simulator, SimulationError
+
+_INFINITY = float("inf")
+
+#: Set to force :func:`available` to report False (used by the clean-
+#: fallback tests; also an operator escape hatch if a prebuilt core
+#: misbehaves on a new interpreter).
+_DISABLE_ENV = "REPRO_NO_ENGINE_FAST"
+
+_SOURCE = Path(__file__).resolve().with_name("_evcore.c")
+_BUILD_DIR = Path(__file__).resolve().parents[3] / "build" / "evcore"
+
+_core = None
+_core_error: Optional[str] = None
+_load_attempted = False
+
+
+def _compiler() -> list:
+    """The C compiler command, split into argv form."""
+    cc = sysconfig.get_config_var("CC") or os.environ.get("CC") or "cc"
+    return cc.split()
+
+
+def _so_path() -> Path:
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return _BUILD_DIR / f"_evcore{suffix}"
+
+
+def _build() -> Path:
+    """Compile ``_evcore.c`` into the build dir; returns the .so path.
+
+    Writes through a temp file + :func:`os.replace` so two processes
+    building concurrently (a ``--jobs 4`` sweep's workers) can never
+    observe a half-written object.
+    """
+    out = _so_path()
+    if out.exists() and out.stat().st_mtime >= _SOURCE.stat().st_mtime:
+        return out
+    _BUILD_DIR.mkdir(parents=True, exist_ok=True)
+    include = sysconfig.get_paths()["include"]
+    fd, tmp = tempfile.mkstemp(suffix=out.suffix, dir=str(_BUILD_DIR))
+    os.close(fd)
+    cmd = _compiler() + [
+        "-O2",
+        "-fPIC",
+        "-shared",
+        f"-I{include}",
+        str(_SOURCE),
+        "-o",
+        tmp,
+    ]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{' '.join(cmd)} failed:\n{proc.stderr.strip()}"
+            )
+        os.replace(tmp, out)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return out
+
+
+def _load():
+    """Build (if needed) and import the compiled core, once per process."""
+    global _core, _core_error, _load_attempted
+    if _load_attempted:
+        return _core
+    _load_attempted = True
+    try:
+        so = _build()
+        spec = importlib.util.spec_from_file_location("_evcore", so)
+        if spec is None or spec.loader is None:  # pragma: no cover
+            raise ImportError(f"cannot load extension at {so}")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        _core = module
+    except Exception as exc:  # clean fallback: record why, never raise
+        _core = None
+        _core_error = f"{type(exc).__name__}: {exc}"
+    return _core
+
+
+def available() -> bool:
+    """Whether the accelerated core can actually be used right now."""
+    if os.environ.get(_DISABLE_ENV, "") not in ("", "0"):
+        return False
+    return _load() is not None
+
+
+def unavailable_reason() -> Optional[str]:
+    """Why :func:`available` is False (None when it is True)."""
+    if os.environ.get(_DISABLE_ENV, "") not in ("", "0"):
+        return f"disabled via {_DISABLE_ENV}"
+    _load()
+    return _core_error
+
+
+class FastSimulator(Simulator):
+    """:class:`Simulator` with the compiled inner loop.
+
+    Only :meth:`run` differs; scheduling, cancellation, packet pooling,
+    and introspection are inherited, and the compiled loop maintains
+    ``now``/``pending`` between callbacks exactly like the Python loop,
+    so gauges sampled mid-run read the same values.
+    """
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
+        core = _load()
+        if core is None:  # pragma: no cover - constructed via make_simulator
+            return super().run(until=until, max_events=max_events)
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        limit = _INFINITY if until is None else until
+        fire_cap = _INFINITY if max_events is None else max_events
+        self._c_processed = 0
+        processed = 0
+        try:
+            try:
+                processed = core.run(self, self._heap, limit, fire_cap)
+            except BaseException:
+                # The core stashes its partial count before propagating,
+                # so the totals below stay exact even on a mid-run error.
+                processed = self._c_processed
+                raise
+        finally:
+            self._running = False
+            self._events_processed += processed
+            PERF.events_fired += processed
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+        return processed
+
+
+#: Engine names accepted by :func:`make_simulator` (and the
+#: ``ExperimentConfig.engine`` knob).
+ENGINES = ("default", "fast")
+
+
+def make_simulator(engine: str = "default") -> Simulator:
+    """Build a simulator for the requested engine.
+
+    ``"fast"`` returns a :class:`FastSimulator` when the compiled core is
+    available and the plain :class:`Simulator` otherwise — the fallback
+    is silent by design: the engines are bit-identical, so a missing
+    compiler must never fail (or fork the results of) an experiment.
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
+        )
+    if engine == "fast" and available():
+        return FastSimulator()
+    return Simulator()

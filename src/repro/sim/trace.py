@@ -135,7 +135,7 @@ class LinkMonitor:
         self.samples: List[LinkSample] = []
         self._last_tx_bytes = link.tx_bytes
         self._last_drops = link.qdisc.drops
-        sim.after(interval, self._sample)
+        sim.call_after(interval, self._sample)
 
     def _sample(self) -> None:
         link = self.link
@@ -153,7 +153,7 @@ class LinkMonitor:
                 drops=dropped,
             )
         )
-        self.sim.after(self.interval, self._sample)
+        self.sim.call_after(self.interval, self._sample)
 
     def mean_utilization(self) -> float:
         if not self.samples:

@@ -56,7 +56,7 @@ class RepeatingTransferClient:
         self.completed = 0
         self.failed = 0
         self._record = None
-        sim.at(start_at, self._begin)
+        sim.call_at(start_at, self._begin)
 
     # ------------------------------------------------------------------
     def _begin(self) -> None:
@@ -164,7 +164,7 @@ class CbrFlood:
         self.probes_sent = 0
         self.interval = pkt_size * 8.0 / rate_bps
         self._last_probe = -1e9
-        sim.at(start_at, self._tick)
+        sim.call_at(start_at, self._tick)
 
     def _tick(self) -> None:
         if self.stop_at is not None and self.sim.now >= self.stop_at:
@@ -176,20 +176,20 @@ class CbrFlood:
                 self._last_probe = self.sim.now
                 self.probes_sent += 1
                 self.host.send(self._packet(self.PROBE_SIZE))
-            self.sim.after(self.PROBE_INTERVAL / 3.0, self._tick)
+            self.sim.call_after(self.PROBE_INTERVAL / 3.0, self._tick)
             return
         self._emit()
         delay = self.interval
         if self.jitter:
             delay *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
-        self.sim.after(delay, self._tick)
+        self.sim.call_after(delay, self._tick)
 
     def _authorized(self) -> bool:
         shim = self.host.shim
         return shim is None or shim.authorized(self.dst)
 
     def _packet(self, size: int, shim=None) -> Packet:
-        return Packet(
+        return self.sim.alloc_packet(
             src=self.host.address,
             dst=self.dst,
             size=size,
@@ -271,7 +271,7 @@ class AggregateSender:
     # ------------------------------------------------------------------
     def _schedule(self) -> None:
         if self._heap:
-            self.sim.at(self._heap[0][0], self._fire)
+            self.sim.call_at(self._heap[0][0], self._fire)
 
     def _fire(self) -> None:
         _, i = heapq.heappop(self._heap)
@@ -307,7 +307,7 @@ class AggregateSender:
         return shim is None or shim.authorized(self.dst)
 
     def _packet(self, i: int, size: int, shim=None) -> Packet:
-        return Packet(
+        return self.sim.alloc_packet(
             src=self.host.address + i,
             dst=self.dst,
             size=size,

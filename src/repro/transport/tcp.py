@@ -204,7 +204,7 @@ class TcpSender:
         self._emit(seg, payload=payload)
 
     def _emit(self, seg: TcpSegment, payload: int) -> None:
-        pkt = Packet(
+        pkt = self.sim.alloc_packet(
             src=self.host.address,
             dst=self.dst,
             size=IP_TCP_HEADER + payload,
@@ -392,7 +392,7 @@ class TcpListener:
     def _reply(self, pkt: Packet, flags: int, ack: int) -> None:
         seg = pkt.tcp
         reply = TcpSegment(self.port, seg.src_port, flags=flags, ack=ack)
-        out = Packet(
+        out = self.sim.alloc_packet(
             src=self.host.address,
             dst=pkt.src,
             size=IP_TCP_HEADER,

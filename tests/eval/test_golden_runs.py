@@ -30,6 +30,7 @@ import pytest
 
 from repro.eval.experiments import ExperimentConfig
 from repro.eval.runner import ScenarioSpec, SweepRunner, run_spec
+from repro.scenarios import get_scenario
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
 REGEN = os.environ.get("REPRO_REGEN_GOLDENS") == "1"
@@ -55,6 +56,16 @@ GOLDEN_SPECS = {
         scheme="siff", attack="request", n_attackers=10, seed=1,
         config=_CONFIG, policy="filtering",
     ),
+    "fig8_netfence_k10": ScenarioSpec(
+        scheme="netfence", attack="legacy", n_attackers=10, seed=1,
+        config=_CONFIG,
+    ),
+    # The aggregated 10k-attacker flood at a shortened duration: the
+    # largest topology the burst/pool fast path serves, kept golden so
+    # scale-dependent paths (AggregateLink, per-source channels) are
+    # pinned too.  1.0 s of simulated time keeps the test a few wall
+    # seconds while still spanning many burst commits.
+    "flood_10k": get_scenario("flood-10k").spec(duration=1.0),
 }
 
 

@@ -1,0 +1,40 @@
+# repro: module=repro.sim.fixture
+"""P002 negative fixture: the fast-path APIs themselves, kept Event
+handles (cancellability is the point), the pool's designated miss
+branch, and out-of-scope lookalikes."""
+
+from repro.sim import Packet
+
+
+class Retransmitter:
+    def __init__(self, sim):
+        self.sim = sim
+        self._timer = None
+
+    def arm(self):
+        # Keeping the handle is exactly what .after() is for.
+        self._timer = self.sim.after(1.0, self.fire)
+
+    def rearm_fast(self):
+        # The fire-and-forget twins are the recommended replacement.
+        self.sim.call_after(1.0, self.fire)
+        self.sim.call_at(9.0, self.fire)
+
+    def fire(self):
+        if self._timer is not None:
+            self.sim.cancel(self._timer)
+
+
+def pooled(sim):
+    # The blessed allocation path.
+    return sim.alloc_packet(src=1, dst=2, size=100)
+
+
+def pool_miss_branch():
+    # repro: allow-p002 — the pool's own construction site
+    return Packet(src=1, dst=2, size=100)
+
+
+def not_a_simulator(df):
+    # .at() on a non-sim receiver (pandas-style) is out of scope.
+    df.loc.at(3, "column")

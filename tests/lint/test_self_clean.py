@@ -40,6 +40,9 @@ def test_deliberate_sites_are_annotated_not_silent():
     assert ("host.py", "D006") in suppressed
     assert ("siff.py", "D006") in suppressed
     assert ("netfence.py", "D006") in suppressed
-    assert len([f for f in findings if f.suppressed]) <= 15, (
+    # The packet pool's miss branch is the one sanctioned direct
+    # Packet() construction — everything else goes through alloc_packet.
+    assert ("packet.py", "P002") in suppressed
+    assert len([f for f in findings if f.suppressed]) <= 17, (
         "suppression count crept up — audit the new allow- annotations"
     )

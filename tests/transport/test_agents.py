@@ -96,13 +96,15 @@ class TestCbrFlood:
 
     def test_request_mode_attaches_blank_requests(self):
         sim, a, b = two_hosts()
-        seen = []
-        b.bind("cbr", 0, seen.append)
+        # Packets are pool-recycled after dispatch, so capture the shim
+        # at delivery time rather than retaining the packet object.
+        shims = []
+        b.bind("cbr", 0, lambda p: shims.append(p.shim))
         CbrFlood(sim, a, 2, rate_bps=1e6, pkt_size=1000, mode="request",
                  stop_at=0.1)
         sim.run(until=1.0)
-        assert seen
-        assert all(isinstance(p.shim, RequestHeader) for p in seen)
+        assert shims
+        assert all(isinstance(s, RequestHeader) for s in shims)
 
     def test_legacy_mode_has_no_shim(self):
         sim, a, b = two_hosts()
